@@ -1,0 +1,38 @@
+"""Shared fixtures for the paper-reproduction benchmark harness.
+
+Every ``test_fig*``/``test_table*`` module regenerates one table or figure
+of the paper.  Benchmarks print their reproduction table (run pytest with
+``-s`` to see them inline; they are also attached to the benchmark's
+``extra_info``) and assert the paper's qualitative shape.
+
+All latency/throughput numbers are *modeled device time* from the
+calibrated RTX 3090 cost model; wall-clock measured by pytest-benchmark is
+the cost of running the harness itself.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive harness exactly once (no warmup rounds)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit(benchmark, text: str) -> None:
+    """Print a reproduction table and attach it to the benchmark record."""
+    sys.stdout.write("\n" + text + "\n")
+    benchmark.extra_info["table"] = text
+
+
+@pytest.fixture
+def once():
+    return run_once
+
+
+@pytest.fixture
+def report():
+    return emit

@@ -1,0 +1,53 @@
+"""Ablation benchmarks for design choices without a dedicated paper figure
+(zero-tile jumping, kernel fusion, transfer packing, partitioner quality)."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    format_records,
+    run_fusion_ablation,
+    run_jumping_ablation,
+    run_partitioner_ablation,
+    run_transfer_ablation,
+)
+
+
+def test_ablation_zero_tile_jumping(benchmark, once, report):
+    records = once(benchmark, run_jumping_ablation)
+    report(benchmark, format_records(records, title="Ablation: zero-tile jumping"))
+    for rec in records:
+        assert float(rec["speedup"].rstrip("x")) >= 1.0, rec["dataset"]
+
+
+def test_ablation_kernel_fusion(benchmark, once, report):
+    records = once(benchmark, run_fusion_ablation)
+    report(benchmark, format_records(records, title="Ablation: inter-layer fusion"))
+    for rec in records:
+        # §4.5: fusing the epilogue removes kernels — always a win.
+        assert float(rec["speedup"].rstrip("x")) > 1.0, rec["dataset"]
+
+
+def test_ablation_subgraph_packing(benchmark, once, report):
+    records = once(benchmark, run_transfer_ablation)
+    report(
+        benchmark,
+        format_records(records, title="Ablation: bandwidth-optimized packing"),
+    )
+    for rec in records:
+        # §4.6: packed compound transfers move an order of magnitude fewer
+        # bytes; the time saving is additionally capped by per-transaction
+        # latency on tiny batches.
+        assert float(rec["byte saving"].rstrip("x")) > 8.0, rec["dataset"]
+        assert float(rec["time saving"].rstrip("x")) > 1.5, rec["dataset"]
+
+
+def test_ablation_partitioner_quality(benchmark, once, report):
+    records = once(benchmark, run_partitioner_ablation)
+    report(benchmark, format_records(records, title="Ablation: partitioner quality"))
+    by_method = {r["method"]: r for r in records}
+    # §4.1: METIS keeps more edges inside partitions than BFS chunking...
+    assert float(by_method["metis"]["intra-edge %"]) > float(
+        by_method["bfs"]["intra-edge %"]
+    )
+    # ...with bounded imbalance.
+    assert float(by_method["metis"]["balance"]) < 1.5

@@ -1,0 +1,28 @@
+"""Figure 10: non-zero tile reuse effectiveness (control-variable study).
+
+All-ones adjacency, D = 1024, N in {1024..8192}, X in {4, 8, 16} bits.
+Checks the paper's shape: reuse helps large matrices with more bits and
+can slightly hurt small ones.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_fig10, run_fig10
+
+
+def test_fig10_reuse(benchmark, once, report):
+    results = once(benchmark, run_fig10)
+    report(benchmark, format_fig10(results))
+
+    # Reuse wins at the largest size, for every bitwidth.
+    for bits, series in results.items():
+        assert series[8192] > 1.05, bits
+    # Benefit grows with the number of embedding bits at large N.
+    assert results[16][8192] > results[8][8192] > results[4][8192] - 1e-9
+    # At small N reuse does not help (the paper measures a slight loss).
+    for bits in results:
+        assert results[bits][1024] < 1.02, bits
+    # Speedup in a plausible band (paper: ~0.9x to ~1.3x).
+    for bits, series in results.items():
+        for n, speedup in series.items():
+            assert 0.8 < speedup < 1.4, (bits, n)

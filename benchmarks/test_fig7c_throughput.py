@@ -1,0 +1,31 @@
+"""Figure 7(c): aggregation-kernel throughput — QGTC 2-7 bit vs cuBLAS int8.
+
+Regenerates the TFLOP/s grid for N in {1024, 2048, 4096} x D in {16, 32,
+64} and checks the paper's claims: QGTC beats the int8 TC path in low-bit
+settings, and the gain shrinks as the bitwidth approaches 8.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_fig7c, run_fig7c
+
+
+def test_fig7c_throughput(benchmark, once, report):
+    records = once(benchmark, run_fig7c)
+    report(benchmark, format_fig7c(records))
+
+    assert len(records) == 9  # 3 sizes x 3 dims
+    for rec in records:
+        qgtc = [rec[f"QGTC_{b}"] for b in (2, 3, 4, 5, 6, 7)]
+        # Monotone decrease with bits (paper: more bit-level computation).
+        assert qgtc == sorted(qgtc, reverse=True), rec
+        # Low-bit QGTC beats cuBLAS int8 everywhere in the grid.
+        assert rec["QGTC_2"] > rec["cuBLAS-int8"], rec
+        assert rec["QGTC_3"] > rec["cuBLAS-int8"], rec
+    # Gains shrink approaching 8 bits: the 7-bit margin over int8 is small
+    # compared to the 2-bit margin.
+    big = [r for r in records if r["N"] == 4096 and r["D"] == 64][0]
+    margin2 = big["QGTC_2"] / big["cuBLAS-int8"]
+    margin7 = big["QGTC_7"] / big["cuBLAS-int8"]
+    assert margin2 > 1.5
+    assert margin7 < margin2 / 2

@@ -1,0 +1,31 @@
+"""Figure 9: 1-bit aggregation throughput vs adjacency matrix size.
+
+Regenerates the (N, D) TFLOP/s surface and checks the paper's shape: weak
+growth for small subgraphs, steep growth in the 512-16384 band, saturation
+beyond, with larger D lifting every point.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_fig9, run_fig9
+from repro.experiments.fig9 import DEFAULT_SIZES
+
+
+def test_fig9_scaling(benchmark, once, report):
+    series = once(benchmark, run_fig9)
+    report(benchmark, format_fig9(series))
+
+    sizes = list(DEFAULT_SIZES)
+    for d, values in series.items():
+        # Monotone non-decreasing in N for every D line.
+        assert values == sorted(values), d
+        # Saturation: relative gain of the last doubling is small.
+        last_gain = values[-1] / values[-2]
+        early_gain = values[sizes.index(1024)] / values[sizes.index(512)]
+        assert last_gain < early_gain, d
+    # Larger D lifts throughput at fixed N (paper: better utilization).
+    for i, n in enumerate(sizes):
+        column = [series[d][i] for d in sorted(series)]
+        assert column == sorted(column), n
+    # Small subgraphs leave the GPU underutilized (paper: 128-512 range).
+    assert series[16][0] < series[1024][-1] / 20

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""The accuracy-vs-latency trade-off of choosing a quantization bitwidth.
+
+Reproduces the paper's closing argument of §6.1: "making the right
+tradeoff between the runtime performance and model accuracy is meaningful".
+For each bitwidth this example reports
+
+* test accuracy after quantization-aware training (Table 2's protocol) on
+  a hard synthetic task, and
+* modeled end-to-end inference latency (Figure 7's protocol),
+
+so the Pareto front is visible in one table.
+
+Run:  python examples/quantization_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table2 import heavy_tail_features
+from repro.gnn import QATConfig, make_cluster_gcn, train_qgnn
+from repro.graph import induced_subgraphs, load_dataset
+from repro.partition import partition_graph
+from repro.runtime import QGTCRunConfig, profile_batches, qgtc_epoch_report
+
+
+def main() -> None:
+    graph = load_dataset("ogbn-arxiv", scale=0.03, feature_noise=3.0)
+    graph = heavy_tail_features(graph, outlier_scale=20.0, outlier_fraction=0.02, seed=0)
+    print(f"dataset: {graph.name}: {graph.num_nodes} nodes, "
+          f"{graph.num_classes} classes")
+
+    # Latency side: partition + profile once.
+    result = partition_graph(graph, 45, method="metis")
+    subgraphs = induced_subgraphs(graph, result.assignment)
+    profiles = profile_batches(subgraphs, batch_size=1)
+    model = make_cluster_gcn(graph.feature_dim, graph.num_classes)
+
+    print(f"\n{'bits':>5} | {'QAT test acc':>12} | {'epoch (ms)':>10} | note")
+    print("-" * 55)
+    for bits in (32, 16, 8, 4, 2):
+        acc = train_qgnn(graph, QATConfig(bits=bits, epochs=60)).test_accuracy
+        latency = qgtc_epoch_report(
+            profiles, model, QGTCRunConfig(feature_bits=bits)
+        ).total_ms()
+        note = ""
+        if bits == 8:
+            note = "<- usually the sweet spot"
+        if bits == 2:
+            note = "<- fast but accuracy collapses"
+        print(f"{bits:>5} | {acc:>12.3f} | {latency:>10.2f} | {note}")
+
+
+if __name__ == "__main__":
+    main()

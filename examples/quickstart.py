@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Quickstart: any-bitwidth GEMM on the emulated Tensor Core.
+
+Walks the core QGTC pipeline end to end on toy data:
+
+1. quantize a float matrix to 3-bit codes (paper Eq. 2),
+2. bit-decompose + 3D-stack-compress both GEMM operands (§3.1, §4.2),
+3. multiply them exactly via 1-bit AND+popcount composition (§3, Eq. 5-7),
+4. run the same product through the emulated TC kernel and inspect what
+   zero-tile jumping and non-zero tile reuse saved (§4.3, §4.4),
+5. convert the measured kernel events into modeled RTX 3090 time.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import bitMM2Int, quantize, to_bit
+from repro.core.bitpack import pack_matrix
+from repro.tc import BitGemmKernel, KernelConfig, TCCostModel
+
+rng = np.random.default_rng(7)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1) Quantize float data to low-bit codes (Eq. 2).
+    # ------------------------------------------------------------------ #
+    x = rng.normal(size=(256, 384))
+    codes, params = quantize(x, bits=3)
+    print(f"quantized {x.shape} fp64 -> 3-bit codes in [0, {codes.max()}]")
+    print(f"  scale={params.scale:.4f}  alpha_min={params.alpha_min:.4f}")
+
+    # ------------------------------------------------------------------ #
+    # 2) Bit-Tensors: the paper's Tensor.to_bit / to_val API (§5).
+    # ------------------------------------------------------------------ #
+    a_codes = rng.integers(0, 8, size=(128, 384))  # 3-bit left operand
+    b_codes = rng.integers(0, 4, size=(384, 32))   # 2-bit right operand
+    a_bit = to_bit(a_codes, 3, layout="col")       # column-wise compression
+    b_bit = to_bit(b_codes, 2, layout="row")       # row-wise compression
+    print(f"\nA packed: {a_bit}")
+    print(f"B packed: {b_bit}")
+    dense_bytes = a_codes.size * 4
+    print(
+        f"  A storage: {a_bit.nbytes} B packed vs {dense_bytes} B as int32 "
+        f"({dense_bytes / a_bit.nbytes:.1f}x smaller)"
+    )
+
+    # ------------------------------------------------------------------ #
+    # 3) Exact any-bitwidth GEMM by 1-bit composition (Algorithm 1).
+    # ------------------------------------------------------------------ #
+    product = bitMM2Int(a_bit, b_bit)
+    assert np.array_equal(product, a_codes @ b_codes)
+    print("\nbitMM2Int(A, B) == A @ B exactly (3-bit x 2-bit via 6 1-bit GEMMs)")
+
+    # ------------------------------------------------------------------ #
+    # 4) The emulated kernel on a sparse adjacency (GNN aggregation).
+    # ------------------------------------------------------------------ #
+    adjacency = np.zeros((512, 512), dtype=np.int64)
+    for blk in range(4):  # 4 batched subgraphs -> block-diagonal structure
+        s = slice(blk * 128, (blk + 1) * 128)
+        adjacency[s, s] = (rng.random((128, 128)) < 0.08).astype(np.int64)
+    np.fill_diagonal(adjacency, 1)
+    features = rng.integers(0, 16, size=(512, 64))  # 4-bit embeddings
+
+    packed_adj = pack_matrix(adjacency, 1, layout="col")
+    packed_x = pack_matrix(features, 4, layout="row")
+
+    kernel = BitGemmKernel(KernelConfig(zero_tile_jumping=True, reuse="cross-tile"))
+    result = kernel.run(packed_adj, packed_x)
+    assert np.array_equal(result.output, adjacency @ features)
+
+    c = result.counters
+    print(f"\nemulated TC kernel on A(1-bit, {adjacency.shape}) x X(4-bit):")
+    print(f"  8x128 tiles: {c.tiles_total} total, {c.tiles_skipped} jumped "
+          f"({100 * c.skip_fraction:.1f}%)")
+    print(f"  bmma instructions: {c.mma_ops}")
+    print(f"  A-fragment loads: {c.frag_loads_a} "
+          f"(cross-tile reuse: one per surviving tile)")
+
+    # ------------------------------------------------------------------ #
+    # 5) Modeled device time.
+    # ------------------------------------------------------------------ #
+    cost = TCCostModel()
+    t = cost.kernel_time(c)
+    print(f"\nmodeled RTX 3090 time: {t.total_ms * 1000:.2f} us "
+          f"({t.bound}-bound; launch {t.launch_s * 1e6:.1f} us)")
+
+
+if __name__ == "__main__":
+    main()

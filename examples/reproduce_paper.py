@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Usage::
+
+    python examples/reproduce_paper.py              # everything
+    python examples/reproduce_paper.py fig7a fig9   # a subset
+    python examples/reproduce_paper.py --list
+
+Each experiment prints the reproduction next to the paper's published
+numbers.  Latency/throughput values are modeled RTX 3090 time (see
+DESIGN.md §5); Table 2 runs real quantization-aware training.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    format_fig7_end_to_end,
+    format_fig7c,
+    format_fig8,
+    format_fig9,
+    format_fig10,
+    format_records,
+    format_table2,
+    format_table3,
+    run_fig7a,
+    run_fig7b,
+    run_fig7c,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fusion_ablation,
+    run_jumping_ablation,
+    run_partitioner_ablation,
+    run_table2,
+    run_table3,
+    run_transfer_ablation,
+)
+
+EXPERIMENTS = {
+    "fig7a": lambda: format_fig7_end_to_end(
+        run_fig7a(), title="Figure 7(a): Cluster GCN end-to-end (modeled ms / paper ms)"
+    ),
+    "fig7b": lambda: format_fig7_end_to_end(
+        run_fig7b(), title="Figure 7(b): Batched GIN end-to-end (modeled ms / paper ms)"
+    ),
+    "fig7c": lambda: format_fig7c(run_fig7c()),
+    "fig8": lambda: format_fig8(run_fig8()),
+    "fig9": lambda: format_fig9(run_fig9()),
+    "fig10": lambda: format_fig10(run_fig10()),
+    "table2": lambda: format_table2(run_table2()),
+    "table3": lambda: format_table3(run_table3()),
+    "ablations": lambda: "\n\n".join(
+        [
+            format_records(run_jumping_ablation(), title="Ablation: zero-tile jumping"),
+            format_records(run_fusion_ablation(), title="Ablation: inter-layer fusion"),
+            format_records(
+                run_transfer_ablation(), title="Ablation: bandwidth-optimized packing"
+            ),
+            format_records(
+                run_partitioner_ablation(), title="Ablation: partitioner quality"
+            ),
+        ]
+    ),
+}
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", help="subset to run")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print("\n".join(EXPERIMENTS))
+        return 0
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments {unknown}; try --list")
+
+    for name in selected:
+        start = time.time()
+        table = EXPERIMENTS[name]()
+        print(f"\n{'=' * 72}\n{table}\n[{name} regenerated in {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

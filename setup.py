@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no network and no ``wheel`` package, so
+``pip install -e .`` cannot build an editable wheel (PEP 660).  This shim
+lets ``python setup.py develop`` install the package the legacy way; all
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Baseline execution models: DGL-like fp32 on CUDA cores, cuBLAS int8 TC,
+and CUTLASS int4 TC (paper §6 comparisons)."""
+
+from .cublas_like import cublas_int8_gemm_tflops, cublas_int8_gemm_time
+from .cutlass_like import (
+    CUTLASS_SETUP_S,
+    cutlass_int4_gemm_tflops,
+    cutlass_int4_gemm_time,
+)
+from .dgl_like import DGL_FRAMEWORK_OVERHEAD_S, DGLRunConfig, dgl_epoch_report
+
+__all__ = [
+    "CUTLASS_SETUP_S",
+    "DGL_FRAMEWORK_OVERHEAD_S",
+    "DGLRunConfig",
+    "cublas_int8_gemm_tflops",
+    "cublas_int8_gemm_time",
+    "cutlass_int4_gemm_tflops",
+    "cutlass_int4_gemm_time",
+    "dgl_epoch_report",
+]

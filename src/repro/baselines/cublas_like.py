@@ -1,0 +1,45 @@
+"""cuBLAS ``gemmEx`` int8 Tensor Core GEMM model (Figure 7c baseline).
+
+cuBLAS's quantized TC path supports int8 as its minimum width; computing a
+1-bit x n-bit QGNN aggregation through it means paying full int8 work for
+both operands regardless of the real bitwidths — the inefficiency QGTC's
+Figure 7c quantifies.  Effective rate and launch cost are calibrated from
+the figure (see :mod:`repro.tc.hardware`).
+"""
+
+from __future__ import annotations
+
+from ..errors import ShapeError
+from ..tc.costmodel import TimeBreakdown, tflops, useful_flops
+from ..tc.hardware import RTX3090, DeviceSpec
+
+__all__ = ["cublas_int8_gemm_time", "cublas_int8_gemm_tflops"]
+
+
+def cublas_int8_gemm_time(
+    m: int, k: int, n: int, device: DeviceSpec = RTX3090
+) -> TimeBreakdown:
+    """Modeled time of an int8 TC GEMM ``m x k x n`` via cuBLAS.
+
+    Roofline: int8 effective rate vs. byte traffic of int8 operands with
+    int32 accumulation output, plus the library launch cost.
+    """
+    if min(m, k, n) < 1:
+        raise ShapeError(f"GEMM dims must be positive, got {(m, k, n)}")
+    flops = useful_flops(m, k, n)
+    compute = flops / (device.int8_tc_effective_tflops * 1e12)
+    stream = (m * k + k * n + 4 * m * n) / device.effective_dram_bw
+    return TimeBreakdown(
+        launch_s=device.library_launch_s,
+        compute_s=compute,
+        stream_s=stream,
+        reload_s=0.0,
+    )
+
+
+def cublas_int8_gemm_tflops(
+    m: int, k: int, n: int, device: DeviceSpec = RTX3090
+) -> float:
+    """Achieved TFLOP/s of the cuBLAS int8 path (Figure 7c's unit)."""
+    t = cublas_int8_gemm_time(m, k, n, device)
+    return tflops(useful_flops(m, k, n), t.total_s)

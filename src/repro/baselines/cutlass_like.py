@@ -1,0 +1,53 @@
+"""CUTLASS int4 Tensor Core GEMM model (Table 3 baseline).
+
+CUTLASS (v2.7) offers int4 x int4 TC GEMM — the narrowest pre-packaged
+quantized path.  Running QGTC's aggregation through it forces the 1-bit
+adjacency up to 4 bits *and* caps embeddings below 4 bits at 4 (paper
+§6.2: "we have to use a 4-bit presentation for both adjacent matrix and
+embedding matrix").  Effective rate and setup cost are fit from Table 3's
+CUTLASS column (t = 15.5 µs + flops / 26 TFLOPs; see
+:mod:`repro.tc.hardware`'s calibration notes).
+"""
+
+from __future__ import annotations
+
+from ..errors import ShapeError
+from ..tc.costmodel import TimeBreakdown, tflops, useful_flops
+from ..tc.hardware import RTX3090, DeviceSpec
+
+__all__ = ["CUTLASS_SETUP_S", "cutlass_int4_gemm_time", "cutlass_int4_gemm_tflops"]
+
+#: Fixed per-call cost of the CUTLASS int4 kernel (template dispatch +
+#: launch), fit from Table 3's small-shape entries.
+CUTLASS_SETUP_S = 15.5e-6
+
+
+def cutlass_int4_gemm_time(
+    m: int, k: int, n: int, device: DeviceSpec = RTX3090
+) -> TimeBreakdown:
+    """Modeled time of an int4 TC GEMM ``m x k x n`` via CUTLASS.
+
+    CUTLASS's int4 kernels tile the output 64 columns wide; narrower ``n``
+    wastes the tile proportionally (visible in Table 3, whose CUTLASS
+    column saturates at ~12.5 TFLOP/s for D=32 vs ~24.7 for D=64).
+    """
+    if min(m, k, n) < 1:
+        raise ShapeError(f"GEMM dims must be positive, got {(m, k, n)}")
+    flops = useful_flops(m, k, n)
+    tile_utilization = min(n / 64.0, 1.0)
+    compute = flops / (device.int4_tc_effective_tflops * 1e12 * tile_utilization)
+    stream = ((m * k + k * n) // 2 + 4 * m * n) / device.effective_dram_bw
+    return TimeBreakdown(
+        launch_s=CUTLASS_SETUP_S,
+        compute_s=compute,
+        stream_s=stream,
+        reload_s=0.0,
+    )
+
+
+def cutlass_int4_gemm_tflops(
+    m: int, k: int, n: int, device: DeviceSpec = RTX3090
+) -> float:
+    """Achieved TFLOP/s of the CUTLASS int4 path (Table 3's unit)."""
+    t = cutlass_int4_gemm_time(m, k, n, device)
+    return tflops(useful_flops(m, k, n), t.total_s)

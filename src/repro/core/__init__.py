@@ -1,0 +1,79 @@
+"""Core any-bitwidth arithmetic: quantization, bit decomposition, packed
+bit-GEMM, and the bit-Tensor API (paper §3 and §5)."""
+
+from .api import bit_mm_to_bit, bit_mm_to_int, bitMM2Bit, bitMM2Int
+from .bitdecomp import bit_compose, bit_decompose, required_bits
+from .bitgemm import (
+    bitgemm,
+    bitgemm_codes,
+    bitgemm_planes,
+    bmm_plane_blas,
+    bmm_plane_packed,
+    matmul_int_reference,
+    scalar_mul_decomposed,
+    vector_dot_decomposed,
+)
+from .bitops import and_popcount, ballot_any, popcount, popcount_table, xor_popcount
+from .bitpack import (
+    TC_K,
+    TC_M,
+    TC_N,
+    PackedBits,
+    pack_bit_planes,
+    pack_matrix,
+    pad_to,
+    unpack_bit_planes,
+    unpack_matrix,
+)
+from .bittensor import BitTensor, requantize_codes, to_bit
+from .quantization import (
+    MAX_BITS,
+    QuantConfig,
+    QuantParams,
+    calibrate,
+    dequantize,
+    quantization_error,
+    quantize,
+)
+
+__all__ = [
+    "MAX_BITS",
+    "TC_K",
+    "TC_M",
+    "TC_N",
+    "BitTensor",
+    "PackedBits",
+    "QuantConfig",
+    "QuantParams",
+    "and_popcount",
+    "ballot_any",
+    "bit_compose",
+    "bit_decompose",
+    "bit_mm_to_bit",
+    "bit_mm_to_int",
+    "bitMM2Bit",
+    "bitMM2Int",
+    "bitgemm",
+    "bitgemm_codes",
+    "bitgemm_planes",
+    "bmm_plane_blas",
+    "bmm_plane_packed",
+    "calibrate",
+    "dequantize",
+    "matmul_int_reference",
+    "pack_bit_planes",
+    "pack_matrix",
+    "pad_to",
+    "popcount",
+    "popcount_table",
+    "quantization_error",
+    "quantize",
+    "required_bits",
+    "requantize_codes",
+    "scalar_mul_decomposed",
+    "to_bit",
+    "unpack_bit_planes",
+    "unpack_matrix",
+    "vector_dot_decomposed",
+    "xor_popcount",
+]

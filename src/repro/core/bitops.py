@@ -1,0 +1,115 @@
+"""Word-level bit primitives used by the packed GEMM and the TC emulator.
+
+Everything here operates on ``uint32`` *words* — the storage unit of the
+3D-stacked bit compression (paper §4.2).  The two operations the 1-bit
+Tensor Core path needs are
+
+* ``AND`` between two packed vectors (elementwise multiply of bits), and
+* ``popcount`` (the reduction), mirroring paper Eq. 7:
+  ``ans = popcnt(v_i & v_j)``.
+
+NumPy >= 2.0 ships a hardware-backed ``np.bitwise_count``; we expose a thin
+wrapper plus a pure-table fallback so the semantics are pinned by tests
+rather than by whichever NumPy happens to be installed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = [
+    "WORD_BITS",
+    "popcount",
+    "popcount_table",
+    "and_popcount",
+    "xor_popcount",
+    "ballot_any",
+]
+
+#: Bits per storage word.  QGTC packs into int32/uint32 for PyTorch interop.
+WORD_BITS = 32
+
+#: 256-entry lookup table: popcount of every byte value.
+_POPCOUNT8 = np.array(
+    [bin(i).count("1") for i in range(256)], dtype=np.uint8
+)
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Per-element population count of an unsigned integer array.
+
+    Uses NumPy's vectorized ``bitwise_count`` when available (NumPy >= 2.0),
+    otherwise falls back to the byte-table implementation.
+    """
+    arr = np.asarray(words)
+    if arr.dtype.kind != "u":
+        if arr.dtype.kind == "i":
+            arr = arr.view(arr.dtype.str.replace("i", "u"))
+        else:
+            raise ShapeError(f"popcount expects an integer array, got {arr.dtype}")
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(arr)
+    return popcount_table(arr)
+
+
+def popcount_table(words: np.ndarray) -> np.ndarray:
+    """Reference popcount via a byte lookup table.
+
+    Slower than :func:`popcount` but dependency-free; kept public so the
+    test suite can cross-check the fast path.
+    """
+    arr = np.ascontiguousarray(words)
+    if arr.dtype.kind == "i":
+        arr = arr.view(arr.dtype.str.replace("i", "u"))
+    nbytes = arr.dtype.itemsize
+    as_bytes = arr.view(np.uint8).reshape(arr.shape + (nbytes,))
+    return _POPCOUNT8[as_bytes].sum(axis=-1, dtype=np.uint32).astype(arr.dtype)
+
+
+def and_popcount(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``popcount(a & b)`` reduced over the last axis.
+
+    This is the 1-bit dot product of paper Eq. 7: with both vectors packed
+    along their K dimension, the number of positions where both bits are 1
+    equals the integer dot product of the binary vectors.
+
+    Broadcasting follows NumPy rules on all axes except the last, which must
+    match (same number of K-words).
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape[-1] != b.shape[-1]:
+        raise ShapeError(
+            f"packed K-word axes differ: {a.shape[-1]} vs {b.shape[-1]}"
+        )
+    return popcount(a & b).sum(axis=-1, dtype=np.int64)
+
+
+def xor_popcount(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``popcount(a ^ b)`` reduced over the last axis.
+
+    The XOR variant underlies {-1, +1} binary networks (paper §2.3 mentions
+    TC exposes both XOR and AND).  Provided for completeness and used by the
+    binary-GNN example.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape[-1] != b.shape[-1]:
+        raise ShapeError(
+            f"packed K-word axes differ: {a.shape[-1]} vs {b.shape[-1]}"
+        )
+    return popcount(a ^ b).sum(axis=-1, dtype=np.int64)
+
+
+def ballot_any(words: np.ndarray, axis: int | tuple[int, ...] | None = None) -> np.ndarray:
+    """Emulate the warp ``__ballot_sync(val > 0)`` reduction (paper §4.3).
+
+    Returns a boolean array that is True where *any* word along ``axis`` is
+    non-zero — exactly the all-zero-tile test QGTC's zero-tile jumping uses:
+    8 threads OR their 4 words each, then a warp ballot combines the 8 lane
+    predicates.
+    """
+    arr = np.asarray(words)
+    return (arr != 0).any(axis=axis)

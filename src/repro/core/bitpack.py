@@ -1,0 +1,281 @@
+"""3D-stacked bit compression (paper §4.2).
+
+A quantized ``q``-bit matrix is stored as ``q`` binary planes stacked along a
+*z* axis, each plane packed into 32-bit little-endian words along the GEMM
+reduction dimension ``K``:
+
+* **column-wise compression** for the left operand ``A`` (shape ``M x K``):
+  each *row* of ``A`` is packed along ``K`` so the kernel streams coalesced
+  words while walking a row.  Padded to ``PAD8(M) x PAD128(K)`` (or
+  ``PAD128(M)`` when the result feeds the next layer as a new ``A``).
+* **row-wise compression** for the right operand ``B`` (shape ``K x N``):
+  each *column* of ``B`` is packed along ``K``.  Padded to
+  ``PAD128(K) x PAD8(N)`` (or ``PAD128(N)`` for hidden layers).
+
+Both layouts store, for logical vector ``i``, the word array
+``words[plane, i, w]`` where bit ``j`` of word ``w`` is element ``32*w + j``
+of the vector (little-endian, as in the paper's Figure 4).  The paper-order
+shape for row-wise compression — ``bits x K/32 x N`` — is the transpose of
+our storage and available via :meth:`PackedBits.paper_order`.
+
+Padding uses zeros, which are exact for AND+popcount arithmetic: padded
+positions contribute nothing to any dot product, and padded output rows /
+columns are sliced away on unpack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from ..errors import PackingError, ShapeError
+from .bitdecomp import bit_compose, bit_decompose
+from .bitops import WORD_BITS
+
+__all__ = [
+    "TC_M",
+    "TC_N",
+    "TC_K",
+    "pad_to",
+    "PackedBits",
+    "pack_bit_planes",
+    "pack_matrix",
+    "unpack_bit_planes",
+    "unpack_matrix",
+]
+
+#: 1-bit WMMA tile dimensions on Turing/Ampere: ``m8 n8 k128``.
+TC_M = 8
+TC_N = 8
+TC_K = 128
+
+Layout = Literal["col", "row"]
+
+
+def pad_to(n: int, multiple: int) -> int:
+    """Round ``n`` up to the next multiple of ``multiple`` (PAD8 / PAD128)."""
+    if n < 0 or multiple <= 0:
+        raise ShapeError(f"cannot pad {n} to a multiple of {multiple}")
+    return ((n + multiple - 1) // multiple) * multiple
+
+
+@dataclass(frozen=True)
+class PackedBits:
+    """A bit-compressed matrix: ``bits`` planes of packed 32-bit words.
+
+    Attributes
+    ----------
+    words:
+        ``uint32`` array of shape ``(bits, padded_vectors, k_words)``;
+        ``words[p, i, w]`` packs elements ``[32w, 32w+32)`` of logical
+        vector ``i`` (a row of ``A`` for column-wise layout, a column of
+        ``B`` for row-wise layout) at bit position ``p``.
+    bits:
+        Number of bit planes (the quantization bitwidth).
+    layout:
+        ``"col"`` (left operand, packed along K per row) or ``"row"``
+        (right operand, packed along K per column).
+    logical_vectors:
+        Unpadded count of logical vectors (``M`` for col, ``N`` for row).
+    logical_k:
+        Unpadded reduction length ``K``.
+    pad_vectors:
+        The multiple the vector axis was padded to (8 or 128).
+    """
+
+    words: np.ndarray
+    bits: int
+    layout: Layout
+    logical_vectors: int
+    logical_k: int
+    pad_vectors: int
+
+    def __post_init__(self) -> None:
+        if self.layout not in ("col", "row"):
+            raise PackingError(f"unknown layout {self.layout!r}")
+        if self.words.dtype != np.uint32:
+            raise PackingError(f"packed words must be uint32, got {self.words.dtype}")
+        if self.words.ndim != 3:
+            raise PackingError(
+                f"packed words must be (bits, vectors, kwords), got {self.words.shape}"
+            )
+        if self.words.shape[0] != self.bits:
+            raise PackingError(
+                f"plane count {self.words.shape[0]} != bits {self.bits}"
+            )
+        expected_vectors = pad_to(self.logical_vectors, self.pad_vectors)
+        if self.words.shape[1] != expected_vectors:
+            raise PackingError(
+                f"padded vector axis {self.words.shape[1]} != "
+                f"PAD{self.pad_vectors}({self.logical_vectors}) = {expected_vectors}"
+            )
+        expected_words = pad_to(self.logical_k, TC_K) // WORD_BITS
+        if self.words.shape[2] != expected_words:
+            raise PackingError(
+                f"k-word axis {self.words.shape[2]} != "
+                f"PAD128({self.logical_k})/32 = {expected_words}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Shape metadata
+    # ------------------------------------------------------------------ #
+    @property
+    def padded_vectors(self) -> int:
+        """Vector count after PAD8/PAD128 padding."""
+        return self.words.shape[1]
+
+    @property
+    def k_words(self) -> int:
+        """Number of 32-bit words along the packed K axis."""
+        return self.words.shape[2]
+
+    @property
+    def padded_k(self) -> int:
+        """Reduction length after PAD128 padding."""
+        return self.k_words * WORD_BITS
+
+    @property
+    def logical_shape(self) -> tuple[int, int]:
+        """Unpadded matrix shape: ``(M, K)`` for col, ``(K, N)`` for row."""
+        if self.layout == "col":
+            return (self.logical_vectors, self.logical_k)
+        return (self.logical_k, self.logical_vectors)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of packed storage — what travels over the emulated PCIe bus."""
+        return self.words.nbytes
+
+    def plane(self, index: int) -> np.ndarray:
+        """Packed words of one bit plane, shape ``(padded_vectors, k_words)``."""
+        if not 0 <= index < self.bits:
+            raise PackingError(f"plane {index} out of range [0, {self.bits})")
+        return self.words[index]
+
+    def paper_order(self) -> np.ndarray:
+        """Words in the paper's published axis order.
+
+        Column-wise: ``bits x PAD(M) x K/32`` (same as storage).
+        Row-wise: ``bits x K/32 x PAD(N)`` (transpose of storage).
+        """
+        if self.layout == "col":
+            return self.words
+        return self.words.transpose(0, 2, 1)
+
+    # ------------------------------------------------------------------ #
+    # Round-trip
+    # ------------------------------------------------------------------ #
+    def to_planes(self) -> np.ndarray:
+        """Unpack to binary planes of the *logical* matrix."""
+        return unpack_bit_planes(self)
+
+    def to_codes(self) -> np.ndarray:
+        """Unpack and recompose to the original integer codes."""
+        return unpack_matrix(self)
+
+
+def _pack_planes_along_last(planes: np.ndarray) -> np.ndarray:
+    """Pack a ``(bits, vectors, K)`` binary array along K into uint32 words."""
+    bits, vectors, k = planes.shape
+    padded_k = pad_to(max(k, 1), TC_K)
+    if padded_k != k:
+        planes = np.pad(planes, ((0, 0), (0, 0), (0, padded_k - k)))
+    packed_bytes = np.packbits(planes, axis=-1, bitorder="little")
+    # 4 consecutive little-endian bytes form one little-endian uint32, so bit
+    # j of word w is element 32w + j — the layout of paper Figure 4.
+    return (
+        np.ascontiguousarray(packed_bytes)
+        .view(np.uint32)
+        .reshape(bits, vectors, padded_k // WORD_BITS)
+    )
+
+
+def pack_bit_planes(
+    planes: np.ndarray,
+    layout: Layout = "col",
+    *,
+    pad_vectors: int = TC_M,
+) -> PackedBits:
+    """Pack pre-decomposed binary planes into a :class:`PackedBits`.
+
+    Parameters
+    ----------
+    planes:
+        ``(bits, M, K)`` for ``layout="col"`` — planes of the left operand —
+        or ``(bits, K, N)`` for ``layout="row"`` — planes of the right
+        operand.
+    layout:
+        Which GEMM side this matrix sits on (see module docstring).
+    pad_vectors:
+        8 for output-layer operands, 128 when the GEMM result becomes the
+        next layer's left operand (paper §4.2 hidden-layer padding rule).
+    """
+    arr = np.asarray(planes, dtype=np.uint8)
+    if arr.ndim != 3:
+        raise ShapeError(f"planes must be 3-D (bits, rows, cols), got {arr.shape}")
+    if arr.size and arr.max() > 1:
+        raise PackingError("bit planes must be binary (0/1)")
+    if pad_vectors not in (TC_M, TC_K):
+        raise PackingError(f"pad_vectors must be 8 or 128, got {pad_vectors}")
+    bits = arr.shape[0]
+    if layout == "col":
+        vec_planes = arr  # (bits, M, K): rows are the logical vectors
+        logical_vectors, logical_k = arr.shape[1], arr.shape[2]
+    elif layout == "row":
+        vec_planes = arr.transpose(0, 2, 1)  # (bits, N, K): columns of B
+        logical_vectors, logical_k = arr.shape[2], arr.shape[1]
+    else:
+        raise PackingError(f"unknown layout {layout!r}")
+    padded_vectors = pad_to(max(logical_vectors, 1), pad_vectors)
+    if padded_vectors != logical_vectors:
+        vec_planes = np.pad(
+            vec_planes, ((0, 0), (0, padded_vectors - logical_vectors), (0, 0))
+        )
+    words = _pack_planes_along_last(np.ascontiguousarray(vec_planes))
+    return PackedBits(
+        words=words,
+        bits=bits,
+        layout=layout,
+        logical_vectors=max(logical_vectors, 0),
+        logical_k=logical_k,
+        pad_vectors=pad_vectors,
+    )
+
+
+def pack_matrix(
+    codes: np.ndarray,
+    bits: int,
+    layout: Layout = "col",
+    *,
+    pad_vectors: int = TC_M,
+) -> PackedBits:
+    """Bit-decompose an integer matrix and pack it in one call."""
+    arr = np.asarray(codes)
+    if arr.ndim != 2:
+        raise ShapeError(f"pack_matrix expects a 2-D matrix, got shape {arr.shape}")
+    planes = bit_decompose(arr, bits)
+    return pack_bit_planes(planes, layout, pad_vectors=pad_vectors)
+
+
+def unpack_bit_planes(packed: PackedBits) -> np.ndarray:
+    """Unpack to binary planes of the logical (unpadded) matrix.
+
+    Returns ``(bits, M, K)`` for column-wise layout and ``(bits, K, N)`` for
+    row-wise layout.
+    """
+    words = np.ascontiguousarray(packed.words)
+    as_bytes = words.view(np.uint8).reshape(
+        packed.bits, packed.padded_vectors, packed.k_words * 4
+    )
+    planes = np.unpackbits(as_bytes, axis=-1, bitorder="little")
+    planes = planes[:, : packed.logical_vectors, : packed.logical_k]
+    if packed.layout == "row":
+        planes = planes.transpose(0, 2, 1)
+    return planes
+
+
+def unpack_matrix(packed: PackedBits) -> np.ndarray:
+    """Unpack and shift-add back to the original integer codes (int64)."""
+    return bit_compose(unpack_bit_planes(packed))

@@ -1,0 +1,174 @@
+"""The bit-Tensor data type (paper §5).
+
+PyTorch cannot hold a 3-bit number, so QGTC smuggles quantized data through
+regular ``int32`` tensors: a *bit-Tensor* is an int32 tensor whose words are
+the 3D-stacked bit compression of a logical low-bit matrix, plus enough
+metadata (bitwidth, layout, logical shape) to decode it.  The paper exposes
+
+* ``Tensor.to_bit(nbits)`` — encode an integer tensor as a bit-Tensor, and
+* ``Tensor.to_val(nbits)`` — decode back to int32,
+
+which we reproduce here as :func:`to_bit` / :meth:`BitTensor.to_val` on a
+NumPy-backed :class:`BitTensor`.  A bit-Tensor optionally carries the
+:class:`~repro.core.quantization.QuantParams` used to produce its codes so
+results can be mapped back to float space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import BitwidthError, ShapeError
+from .bitpack import PackedBits, pack_matrix, unpack_matrix
+from .quantization import QuantParams, dequantize, quantize
+
+__all__ = ["BitTensor", "to_bit", "requantize_codes"]
+
+
+@dataclass(frozen=True)
+class BitTensor:
+    """A quantized matrix stored in 3D-stacked bit-compressed form.
+
+    Attributes
+    ----------
+    packed:
+        The word storage (see :class:`~repro.core.bitpack.PackedBits`).
+    quant:
+        Optional affine parameters linking the integer codes to float
+        values; ``None`` for tensors that are inherently integer (e.g. the
+        binary adjacency matrix).
+    """
+
+    packed: PackedBits
+    quant: QuantParams | None = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection (mirrors the Tensor attributes PyTorch users expect)
+    # ------------------------------------------------------------------ #
+    @property
+    def bits(self) -> int:
+        """Quantization bitwidth (number of stacked planes)."""
+        return self.packed.bits
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Logical (unpadded) matrix shape."""
+        return self.packed.logical_shape
+
+    @property
+    def layout(self) -> str:
+        """``"col"`` or ``"row"`` compression (GEMM side)."""
+        return self.packed.layout
+
+    @property
+    def nbytes(self) -> int:
+        """Packed storage footprint in bytes."""
+        return self.packed.nbytes
+
+    @property
+    def storage_words(self) -> np.ndarray:
+        """The raw int32-compatible word array (what PyTorch would hold)."""
+        return self.packed.words
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BitTensor(shape={self.shape}, bits={self.bits}, "
+            f"layout={self.layout!r}, nbytes={self.nbytes})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Decoding
+    # ------------------------------------------------------------------ #
+    def to_val(self) -> np.ndarray:
+        """Decode to an int64 array of quantized codes (paper ``to_val``)."""
+        return unpack_matrix(self.packed)
+
+    def to_float(self) -> np.ndarray:
+        """Decode codes and dequantize to float64.
+
+        Requires the tensor to carry :class:`QuantParams`; integer-only
+        tensors (like the adjacency matrix) have no float interpretation.
+        """
+        if self.quant is None:
+            raise BitwidthError(
+                "this BitTensor has no quantization parameters; call to_val()"
+            )
+        return dequantize(self.to_val(), self.quant)
+
+    # ------------------------------------------------------------------ #
+    # Re-encoding
+    # ------------------------------------------------------------------ #
+    def with_layout(self, layout: str, *, pad_vectors: int | None = None) -> "BitTensor":
+        """Repack this tensor for the other GEMM side.
+
+        The aggregation output (a ``col``-result) becomes the *left* operand
+        of the update GEMM, while a weight matrix is always a ``row``
+        operand; this helper performs the unpack/repack the fused kernel
+        does in shared memory.
+        """
+        if layout == self.layout and (
+            pad_vectors is None or pad_vectors == self.packed.pad_vectors
+        ):
+            return self
+        pad = pad_vectors if pad_vectors is not None else self.packed.pad_vectors
+        codes = self.to_val()
+        repacked = pack_matrix(codes, self.bits, layout=layout, pad_vectors=pad)
+        return BitTensor(packed=repacked, quant=self.quant)
+
+
+def to_bit(
+    values: np.ndarray,
+    nbits: int,
+    *,
+    layout: str = "col",
+    pad_vectors: int = 8,
+    quant: QuantParams | None = None,
+    calibrate_floats: bool = True,
+) -> BitTensor:
+    """Encode a matrix as a bit-Tensor (paper ``Tensor.to_bit(nbits)``).
+
+    Integer inputs are taken as quantized codes directly.  Float inputs are
+    quantized first (per-tensor calibration) when ``calibrate_floats`` is
+    set, mirroring how the PyTorch extension converts fp32 tensors.
+    """
+    arr = np.asarray(values)
+    if arr.ndim != 2:
+        raise ShapeError(f"to_bit expects a 2-D matrix, got shape {arr.shape}")
+    if arr.dtype.kind == "f":
+        if quant is not None:
+            codes, quant = quantize(arr, quant)
+        elif calibrate_floats:
+            codes, quant = quantize(arr, bits=nbits)
+        else:
+            raise BitwidthError(
+                "float input requires quant params or calibrate_floats=True"
+            )
+    else:
+        codes = arr.astype(np.int64)
+    packed = pack_matrix(codes, nbits, layout=layout, pad_vectors=pad_vectors)
+    return BitTensor(packed=packed, quant=quant)
+
+
+def requantize_codes(values: np.ndarray, bits: int) -> np.ndarray:
+    """Rescale non-negative integer accumulations into ``bits``-bit codes.
+
+    The fused hidden-layer epilogue (paper §4.5) quantizes the uint32 GEMM
+    accumulation back to the activation bitwidth before handing it to the
+    next layer.  We use a per-tensor linear rescale onto ``[0, 2**bits - 1]``
+    — the same max-calibrated uniform quantizer as Eq. 2 with
+    ``alpha_min = 0`` — which preserves ordering and relative magnitude.
+    """
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.size == 0:
+        return arr.copy()
+    if int(arr.min()) < 0:
+        raise BitwidthError("requantize_codes expects non-negative accumulations")
+    top = int(arr.max())
+    if top == 0:
+        return np.zeros_like(arr)
+    if top < (1 << bits):
+        return arr.copy()
+    levels = (1 << bits) - 1
+    return (arr.astype(np.float64) * (levels / top)).astype(np.int64)

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the QGTC reproduction.
+
+All library-raised errors derive from :class:`QGTCError` so callers can
+catch everything produced by ``repro`` with a single ``except`` clause while
+still being able to distinguish configuration mistakes from shape mismatches.
+"""
+
+from __future__ import annotations
+
+
+class QGTCError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class BitwidthError(QGTCError, ValueError):
+    """An unsupported or inconsistent quantization bitwidth was requested.
+
+    Valid bitwidths are integers in ``[1, 32]``; the TC emulator additionally
+    requires the adjacency operand of an aggregation GEMM to be 1-bit.
+    """
+
+
+class ShapeError(QGTCError, ValueError):
+    """Operand shapes are incompatible with the requested operation."""
+
+
+class PackingError(QGTCError, ValueError):
+    """A packed bit-tensor has invalid layout metadata.
+
+    Raised, for example, when a row-packed tensor is passed where a
+    column-packed tensor is expected, or when the stored logical shape does
+    not match the padded word storage.
+    """
+
+
+class DeviceError(QGTCError, ValueError):
+    """An emulated-device description is inconsistent (e.g. zero bandwidth)."""
+
+
+class PartitionError(QGTCError, ValueError):
+    """Graph partitioning was asked for an impossible configuration.
+
+    Examples: more parts than vertices, non-positive part count, or a graph
+    whose CSR arrays are malformed.
+    """
+
+
+class ConfigError(QGTCError, ValueError):
+    """A model / runtime configuration object failed validation."""

@@ -1,0 +1,80 @@
+"""Experiment harnesses: one module per paper table/figure plus ablations.
+
+Each ``run_*`` function returns structured records; each ``format_*``
+renders them next to the paper's published values.  ``examples/
+reproduce_paper.py`` drives everything from the command line.
+"""
+
+from .ablations import (
+    format_records,
+    run_fusion_ablation,
+    run_jumping_ablation,
+    run_partitioner_ablation,
+    run_transfer_ablation,
+)
+from .common import (
+    DEFAULT_SCALES,
+    PAPER_NUM_PARTS,
+    PreparedDataset,
+    format_table,
+    prepare_dataset,
+)
+from .fig7 import (
+    BITWIDTHS,
+    Fig7Row,
+    format_fig7_end_to_end,
+    format_fig7c,
+    run_fig7a,
+    run_fig7b,
+    run_fig7c,
+)
+from .fig8 import Fig8Row, format_fig8, run_fig8
+from .fig9 import format_fig9, run_fig9
+from .fig10 import format_fig10, run_fig10
+from .paperdata import (
+    PAPER_FIG7A_MS,
+    PAPER_FIG7B_MS,
+    PAPER_FIG8_RATIO,
+    PAPER_TABLE2_ACC,
+    PAPER_TABLE3_TFLOPS,
+)
+from .table2 import Table2Row, format_table2, run_table2
+from .table3 import Table3Row, format_table3, run_table3
+
+__all__ = [
+    "BITWIDTHS",
+    "DEFAULT_SCALES",
+    "PAPER_FIG7A_MS",
+    "PAPER_FIG7B_MS",
+    "PAPER_FIG8_RATIO",
+    "PAPER_NUM_PARTS",
+    "PAPER_TABLE2_ACC",
+    "PAPER_TABLE3_TFLOPS",
+    "Fig7Row",
+    "Fig8Row",
+    "PreparedDataset",
+    "Table2Row",
+    "Table3Row",
+    "format_fig10",
+    "format_fig7_end_to_end",
+    "format_fig7c",
+    "format_fig8",
+    "format_fig9",
+    "format_records",
+    "format_table",
+    "format_table2",
+    "format_table3",
+    "prepare_dataset",
+    "run_fig10",
+    "run_fig7a",
+    "run_fig7b",
+    "run_fig7c",
+    "run_fig8",
+    "run_fig9",
+    "run_fusion_ablation",
+    "run_jumping_ablation",
+    "run_partitioner_ablation",
+    "run_table2",
+    "run_table3",
+    "run_transfer_ablation",
+]

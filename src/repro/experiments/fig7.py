@@ -1,0 +1,166 @@
+"""Figure 7 reproduction: end-to-end latency (a, b) and kernel TFLOPs (c).
+
+* 7(a): Cluster GCN (3 layers x 16 hidden) on all six datasets — DGL fp32
+  vs QGTC at {2, 4, 8, 16, 32} bits.
+* 7(b): the same sweep for Batched GIN (3 layers x 64 hidden).
+* 7(c): aggregation-kernel throughput — cuBLAS int8 TC GEMM vs QGTC at
+  2–7 bits for N ∈ {1024, 2048, 4096}, D ∈ {16, 32, 64}.
+
+Latency numbers are *modeled milliseconds on the emulated RTX 3090*,
+projected from the scaled run to the paper's 1500-partition setup (see
+:mod:`repro.experiments.common` for the protocol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.cublas_like import cublas_int8_gemm_tflops
+from ..baselines.dgl_like import dgl_epoch_report
+from ..gnn.models import GNNModel, make_batched_gin, make_cluster_gcn
+from ..graph.datasets import dataset_names, get_spec
+from ..runtime.executor import QGTCRunConfig, qgtc_epoch_report
+from ..tc.costmodel import TCCostModel
+from ..tc.hardware import RTX3090, DeviceSpec
+from .common import format_table, prepare_dataset
+from .paperdata import PAPER_FIG7A_MS, PAPER_FIG7B_MS
+
+__all__ = [
+    "Fig7Row",
+    "BITWIDTHS",
+    "run_fig7a",
+    "run_fig7b",
+    "run_fig7c",
+    "format_fig7_end_to_end",
+    "format_fig7c",
+]
+
+#: The bitwidths of Figure 7(a)/(b)'s QGTC bars.
+BITWIDTHS = (2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class Fig7Row:
+    """One dataset's sweep: modeled ms per system, paper ms alongside."""
+
+    dataset: str
+    modeled_ms: dict[str, float]
+    paper_ms: dict[str, float]
+
+    def speedup(self, bits: int) -> float:
+        """Modeled DGL-over-QGTC speedup at the given bitwidth."""
+        return self.modeled_ms["DGL"] / self.modeled_ms[str(bits)]
+
+
+def _model_for(kind: str, feature_dim: int, num_classes: int) -> GNNModel:
+    if kind == "gcn":
+        return make_cluster_gcn(feature_dim, num_classes)
+    return make_batched_gin(feature_dim, num_classes)
+
+
+def _run_end_to_end(
+    kind: str,
+    paper: dict[str, dict[str, float]],
+    *,
+    datasets: list[str] | None = None,
+    scale: float | None = None,
+    device: DeviceSpec = RTX3090,
+    seed: int = 0,
+) -> list[Fig7Row]:
+    rows = []
+    for name in datasets or dataset_names():
+        prepared = prepare_dataset(name, scale=scale, seed=seed)
+        spec = get_spec(name)
+        model = _model_for(kind, spec.feature_dim, spec.num_classes)
+        project = prepared.projection_factor
+        modeled = {}
+        dgl = dgl_epoch_report(prepared.profiles, model, device=device, dataset=name)
+        modeled["DGL"] = dgl.total_ms() * project
+        for bits in BITWIDTHS:
+            rep = qgtc_epoch_report(
+                prepared.profiles,
+                model,
+                QGTCRunConfig(feature_bits=bits),
+                device,
+                dataset=name,
+            )
+            modeled[str(bits)] = rep.total_ms() * project
+        rows.append(Fig7Row(dataset=name, modeled_ms=modeled, paper_ms=paper[name]))
+    return rows
+
+
+def run_fig7a(
+    *,
+    datasets: list[str] | None = None,
+    scale: float | None = None,
+    device: DeviceSpec = RTX3090,
+    seed: int = 0,
+) -> list[Fig7Row]:
+    """Figure 7(a): Cluster GCN latency sweep."""
+    return _run_end_to_end(
+        "gcn", PAPER_FIG7A_MS, datasets=datasets, scale=scale, device=device, seed=seed
+    )
+
+
+def run_fig7b(
+    *,
+    datasets: list[str] | None = None,
+    scale: float | None = None,
+    device: DeviceSpec = RTX3090,
+    seed: int = 0,
+) -> list[Fig7Row]:
+    """Figure 7(b): Batched GIN latency sweep."""
+    return _run_end_to_end(
+        "gin", PAPER_FIG7B_MS, datasets=datasets, scale=scale, device=device, seed=seed
+    )
+
+
+def run_fig7c(
+    *,
+    sizes: tuple[int, ...] = (1024, 2048, 4096),
+    dims: tuple[int, ...] = (16, 32, 64),
+    bit_range: tuple[int, ...] = (2, 3, 4, 5, 6, 7),
+    device: DeviceSpec = RTX3090,
+) -> list[dict]:
+    """Figure 7(c): QGTC 2–7 bit vs cuBLAS int8 aggregation throughput.
+
+    Returns one record per (N, D): cuBLAS int8 TFLOPs and QGTC TFLOPs per
+    bitwidth, on the AX kernel (M = K = N nodes, N = D columns).
+    """
+    cost = TCCostModel(device)
+    records = []
+    for d in dims:
+        for n in sizes:
+            rec = {
+                "N": n,
+                "D": d,
+                "cuBLAS-int8": cublas_int8_gemm_tflops(n, n, d, device),
+            }
+            for bits in bit_range:
+                rec[f"QGTC_{bits}"] = cost.gemm_tflops(n, n, d, 1, bits)
+            records.append(rec)
+    return records
+
+
+def format_fig7_end_to_end(rows: list[Fig7Row], *, title: str) -> str:
+    """Render a Figure 7(a)/(b) sweep with paper values side by side."""
+    headers = ["dataset"] + [
+        f"{sys} model/paper (ms)" for sys in ["DGL"] + [str(b) for b in BITWIDTHS]
+    ]
+    body = []
+    for row in rows:
+        cells = [row.dataset]
+        for sys in ["DGL"] + [str(b) for b in BITWIDTHS]:
+            cells.append(f"{row.modeled_ms[sys]:7.1f} / {row.paper_ms[sys]:7.1f}")
+        body.append(cells)
+    return format_table(headers, body, title=title)
+
+
+def format_fig7c(records: list[dict]) -> str:
+    """Render the Figure 7(c) throughput grid."""
+    headers = list(records[0].keys())
+    body = [
+        [rec["N"], rec["D"]] + [f"{rec[h]:.2f}" for h in headers[2:]]
+        for rec in records
+    ]
+    return format_table(headers, body, title="Figure 7(c): TFLOP/s, AX kernel")

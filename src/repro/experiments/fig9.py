@@ -1,0 +1,44 @@
+"""Figure 9 reproduction: 1-bit aggregation throughput vs adjacency size.
+
+Sweeps the AX kernel (1-bit adjacency x 1-bit embedding, the paper's
+setting for this study) over N ∈ {128 … 32768} and D ∈ {16 … 1024} and
+reports modeled TFLOP/s.  The expected shape: slow growth below ~512
+(launch-dominated), steep growth to ~16384, saturation beyond; larger D
+shifts every point up.
+"""
+
+from __future__ import annotations
+
+from ..tc.costmodel import TCCostModel
+from ..tc.hardware import RTX3090, DeviceSpec
+from .common import format_table
+
+__all__ = ["DEFAULT_SIZES", "DEFAULT_DIMS", "run_fig9", "format_fig9"]
+
+DEFAULT_SIZES = (128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768)
+DEFAULT_DIMS = (16, 32, 64, 128, 256, 512, 1024)
+
+
+def run_fig9(
+    *,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    dims: tuple[int, ...] = DEFAULT_DIMS,
+    device: DeviceSpec = RTX3090,
+) -> dict[int, list[float]]:
+    """TFLOP/s per (D -> series over N), both operands 1-bit."""
+    cost = TCCostModel(device)
+    return {
+        d: [cost.gemm_tflops(n, n, d, 1, 1) for n in sizes] for d in dims
+    }
+
+
+def format_fig9(
+    series: dict[int, list[float]], *, sizes: tuple[int, ...] = DEFAULT_SIZES
+) -> str:
+    headers = ["D \\ N"] + [str(n) for n in sizes]
+    body = [
+        [str(d)] + [f"{v:.1f}" for v in values] for d, values in sorted(series.items())
+    ]
+    return format_table(
+        headers, body, title="Figure 9: TFLOP/s vs adjacency size (1-bit AX)"
+    )

@@ -1,0 +1,63 @@
+"""The paper's published numbers, transcribed for side-by-side reporting.
+
+Sources: Figure 7(a)/(b) bar labels, Table 2, Table 3, and Figure 8's bar
+percentages of the PPoPP'22 paper.  Keys are (dataset, system) or shape
+tuples; values are the paper's units (ms, TFLOP/s, accuracy, ratio).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_FIG7A_MS",
+    "PAPER_FIG7B_MS",
+    "PAPER_TABLE2_ACC",
+    "PAPER_TABLE3_TFLOPS",
+    "PAPER_FIG8_RATIO",
+]
+
+#: Figure 7(a): Cluster GCN end-to-end latency (ms), DGL vs QGTC bitwidths.
+PAPER_FIG7A_MS: dict[str, dict[str, float]] = {
+    "Proteins": {"DGL": 221.1, "2": 84.8, "4": 85.4, "8": 97.7, "16": 141.8, "32": 235.6},
+    "artist": {"DGL": 286.4, "2": 86.6, "4": 85.7, "8": 99.9, "16": 144.1, "32": 246.6},
+    "BlogCatalog": {"DGL": 317.1, "2": 87.0, "4": 91.4, "8": 136.2, "16": 160.7, "32": 279.5},
+    "PPI": {"DGL": 254.9, "2": 82.9, "4": 84.4, "8": 102.1, "16": 142.4, "32": 228.2},
+    "ogbn-arxiv": {"DGL": 310.6, "2": 87.1, "4": 91.6, "8": 122.1, "16": 161.5, "32": 265.6},
+    "ogbn-products": {"DGL": 604.2, "2": 110.2, "4": 122.8, "8": 159.8, "16": 206.6, "32": 339.4},
+}
+
+#: Figure 7(b): Batched GIN end-to-end latency (ms).
+PAPER_FIG7B_MS: dict[str, dict[str, float]] = {
+    "Proteins": {"DGL": 256.3, "2": 97.2, "4": 102.0, "8": 111.6, "16": 141.3, "32": 224.0},
+    "artist": {"DGL": 340.5, "2": 100.7, "4": 102.0, "8": 114.8, "16": 143.9, "32": 229.4},
+    "BlogCatalog": {"DGL": 377.3, "2": 103.8, "4": 126.6, "8": 126.6, "16": 172.9, "32": 258.6},
+    "PPI": {"DGL": 270.6, "2": 82.5, "4": 84.5, "8": 97.1, "16": 151.3, "32": 221.5},
+    "ogbn-arxiv": {"DGL": 332.3, "2": 86.7, "4": 90.6, "8": 121.7, "16": 164.7, "32": 256.5},
+    "ogbn-products": {"DGL": 616.8, "2": 95.8, "4": 121.6, "8": 149.1, "16": 207.7, "32": 338.0},
+}
+
+#: Table 2: GCN test accuracy vs quantization bitwidth.
+PAPER_TABLE2_ACC: dict[str, dict[str, float]] = {
+    "ogbn-products": {"32": 0.791, "16": 0.791, "8": 0.783, "4": 0.739, "2": 0.620},
+    "ogbn-arxiv": {"32": 0.724, "16": 0.708, "8": 0.707, "4": 0.685, "2": 0.498},
+}
+
+#: Table 3: aggregation TFLOP/s, CUTLASS-int4 vs QGTC at 1-4 bits.
+#: Key: (N, Dim) -> {system: TFLOPs}.
+PAPER_TABLE3_TFLOPS: dict[tuple[int, int], dict[str, float]] = {
+    (2048, 32): {"cutlass4": 10.36, "1": 32.65, "2": 19.99, "3": 14.40, "4": 11.30},
+    (4096, 32): {"cutlass4": 12.28, "1": 81.41, "2": 46.23, "3": 32.27, "4": 24.75},
+    (8192, 32): {"cutlass4": 12.67, "1": 94.58, "2": 50.82, "3": 35.22, "4": 26.31},
+    (2048, 64): {"cutlass4": 21.40, "1": 63.94, "2": 39.41, "3": 29.83, "4": 22.15},
+    (4096, 64): {"cutlass4": 24.66, "1": 89.18, "2": 51.21, "3": 35.17, "4": 25.38},
+    (8192, 64): {"cutlass4": 24.70, "1": 104.66, "2": 55.16, "3": 40.77, "4": 31.07},
+}
+
+#: Figure 8: fraction of TC tiles still processed with zero-tile jumping.
+PAPER_FIG8_RATIO: dict[str, float] = {
+    "Proteins": 0.3333,
+    "artist": 0.4310,
+    "BlogCatalog": 0.3622,
+    "PPI": 0.3471,
+    "ogbn-arxiv": 0.0632,
+    "ogbn-products": 0.1650,
+}

@@ -1,0 +1,118 @@
+"""Table 2 reproduction: model accuracy vs quantization bitwidth.
+
+Quantization-aware training of a GCN at {32, 16, 8, 4, 2} bits on the
+ogbn-arxiv / ogbn-products stand-ins.  The claim under reproduction is the
+*trend* — near-flat accuracy down to 8 bits, a dip at 4, a collapse at 2 —
+not the paper's absolute OGB scores.
+
+Getting the trend out of synthetic data requires reproducing *why* low-bit
+quantization hurts real GNNs: real features are heavy-tailed, so per-tensor
+min/max calibration stretches the quantization range over rare outliers and
+a 2-bit grid leaves almost no resolution for the informative bulk.  Pure
+Gaussian features do not show this (neighbour aggregation averages the
+quantization noise away — our first attempt stayed at ~100 % accuracy down
+to 2 bits), so the harness injects a small fraction of large-magnitude
+outliers into the generated features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gnn.training import QATConfig, train_qgnn
+from ..graph.csr import CSRGraph
+from ..graph.datasets import load_dataset
+from .common import format_table
+from .paperdata import PAPER_TABLE2_ACC
+
+__all__ = [
+    "Table2Row",
+    "DEFAULT_BITS",
+    "heavy_tail_features",
+    "run_table2",
+    "format_table2",
+]
+
+DEFAULT_BITS = (32, 16, 8, 4, 2)
+
+#: QAT dataset scales: training is O(nodes x dims), keep stand-ins small.
+_QAT_SCALES = {"ogbn-arxiv": 0.03, "ogbn-products": 0.002}
+
+
+def heavy_tail_features(
+    graph: CSRGraph,
+    *,
+    outlier_scale: float = 20.0,
+    outlier_fraction: float = 0.02,
+    seed: int = 0,
+) -> CSRGraph:
+    """Scale a random sparse subset of feature entries (see module doc)."""
+    rng = np.random.default_rng(seed)
+    x = graph.features.copy()
+    mask = rng.random(x.shape) < outlier_fraction
+    x[mask] *= outlier_scale
+    return graph.with_features(x)
+
+
+#: Backwards-compatible private alias.
+_heavy_tail = heavy_tail_features
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    dataset: str
+    accuracies: dict[str, float]
+    paper: dict[str, float]
+
+
+def run_table2(
+    *,
+    datasets: tuple[str, ...] = ("ogbn-products", "ogbn-arxiv"),
+    bits: tuple[int, ...] = DEFAULT_BITS,
+    epochs: int = 100,
+    feature_noise: float = 3.0,
+    outlier_scale: float = 20.0,
+    outlier_fraction: float = 0.02,
+    seed: int = 0,
+) -> list[Table2Row]:
+    """Train QAT models at every bitwidth and report test accuracy."""
+    rows = []
+    for name in datasets:
+        graph = load_dataset(
+            name,
+            scale=_QAT_SCALES.get(name, 0.02),
+            seed=seed,
+            feature_noise=feature_noise,
+        )
+        graph = heavy_tail_features(
+            graph,
+            outlier_scale=outlier_scale,
+            outlier_fraction=outlier_fraction,
+            seed=seed,
+        )
+        accs = {}
+        for b in bits:
+            result = train_qgnn(
+                graph, QATConfig(bits=b, epochs=epochs, seed=seed)
+            )
+            accs[str(b)] = result.test_accuracy
+        rows.append(
+            Table2Row(dataset=name, accuracies=accs, paper=PAPER_TABLE2_ACC[name])
+        )
+    return rows
+
+
+def format_table2(rows: list[Table2Row]) -> str:
+    bits = list(rows[0].accuracies.keys())
+    headers = ["dataset"] + [f"{b} bits (model/paper)" for b in bits]
+    body = []
+    for row in rows:
+        cells = [row.dataset]
+        for b in bits:
+            cells.append(f"{row.accuracies[b]:.3f} / {row.paper[b]:.3f}")
+        body.append(cells)
+    return format_table(
+        headers, body, title="Table 2: accuracy vs quantization bitwidth (QAT)"
+    )

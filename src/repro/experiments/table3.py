@@ -1,0 +1,68 @@
+"""Table 3 reproduction: QGTC (1–4 bit) vs CUTLASS int4 throughput.
+
+The AX aggregation kernel at N ∈ {2048, 4096, 8192}, D ∈ {32, 64}: the
+adjacency stays 1-bit under QGTC but must be promoted to 4 bits under
+CUTLASS's int4 x int4 GEMM — the source of QGTC's advantage the paper
+quantifies here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.cutlass_like import cutlass_int4_gemm_tflops
+from ..tc.costmodel import TCCostModel
+from ..tc.hardware import RTX3090, DeviceSpec
+from .common import format_table
+from .paperdata import PAPER_TABLE3_TFLOPS
+
+__all__ = ["Table3Row", "run_table3", "format_table3"]
+
+DEFAULT_SHAPES = ((2048, 32), (4096, 32), (8192, 32), (2048, 64), (4096, 64), (8192, 64))
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    n: int
+    dim: int
+    cutlass_int4: float
+    qgtc: dict[int, float]
+    paper: dict[str, float]
+
+
+def run_table3(
+    *,
+    shapes: tuple[tuple[int, int], ...] = DEFAULT_SHAPES,
+    bits: tuple[int, ...] = (1, 2, 3, 4),
+    device: DeviceSpec = RTX3090,
+) -> list[Table3Row]:
+    cost = TCCostModel(device)
+    rows = []
+    for n, d in shapes:
+        rows.append(
+            Table3Row(
+                n=n,
+                dim=d,
+                cutlass_int4=cutlass_int4_gemm_tflops(n, n, d, device),
+                qgtc={b: cost.gemm_tflops(n, n, d, 1, b) for b in bits},
+                paper=PAPER_TABLE3_TFLOPS[(n, d)],
+            )
+        )
+    return rows
+
+
+def format_table3(rows: list[Table3Row]) -> str:
+    headers = ["N", "Dim", "CUTLASS-int4 (model/paper)"] + [
+        f"QGTC {b}-bit (model/paper)" for b in sorted(rows[0].qgtc)
+    ]
+    body = []
+    for r in rows:
+        cells = [
+            str(r.n),
+            str(r.dim),
+            f"{r.cutlass_int4:.2f} / {r.paper['cutlass4']:.2f}",
+        ]
+        for b in sorted(r.qgtc):
+            cells.append(f"{r.qgtc[b]:.2f} / {r.paper[str(b)]:.2f}")
+        body.append(cells)
+    return format_table(headers, body, title="Table 3: TFLOP/s vs CUTLASS int4")

@@ -1,0 +1,15 @@
+"""PyTorch-integration surface (paper §5): a minimal Tensor/Module layer,
+QGTC layer modules, and the §4.6 compound subgraph buffer."""
+
+from .layers import BitGraphConv, BitLinear, CompoundSubgraphBuffer
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = [
+    "BitGraphConv",
+    "BitLinear",
+    "CompoundSubgraphBuffer",
+    "Module",
+    "Parameter",
+    "Tensor",
+]

@@ -1,0 +1,68 @@
+"""A minimal PyTorch-like ``Tensor`` carrying the bit-Tensor API (paper §5).
+
+QGTC extends ``torch.Tensor`` with ``to_bit(nbits)`` / ``to_val(nbits)``.
+We reproduce that surface on a thin NumPy wrapper so the examples read like
+the paper's usage:
+
+>>> x = Tensor(np.random.randn(64, 128))
+>>> xb = x.to_bit(3)           # 3-bit bit-Tensor (3D-stacked compression)
+>>> xq = xb.to_val()           # decode back to integer codes
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bittensor import BitTensor
+from ..core.bittensor import to_bit as _to_bit
+from ..errors import ShapeError
+
+__all__ = ["Tensor"]
+
+
+class Tensor:
+    """NumPy-backed tensor with QGTC's bit-Tensor conversions."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: np.ndarray):
+        self.data = np.asarray(data)
+
+    # -- PyTorch-flavoured introspection --------------------------------- #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (no copy)."""
+        return self.data
+
+    def numel(self) -> int:
+        return self.data.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tensor(shape={self.shape}, dtype={self.dtype})"
+
+    # -- QGTC extension API (paper §5) ------------------------------------ #
+    def to_bit(
+        self, nbits: int, *, layout: str = "col", pad_vectors: int = 8
+    ) -> BitTensor:
+        """Encode as a bit-Tensor (the paper's ``Tensor.to_bit(nbits)``).
+
+        Float tensors are quantized with per-tensor calibration first;
+        integer tensors are taken as codes.
+        """
+        if self.data.ndim != 2:
+            raise ShapeError(
+                f"to_bit expects a 2-D tensor, got shape {self.data.shape}"
+            )
+        return _to_bit(self.data, nbits, layout=layout, pad_vectors=pad_vectors)
+
+    @staticmethod
+    def from_bit(bit_tensor: BitTensor) -> "Tensor":
+        """Decode a bit-Tensor into an int64 Tensor (``to_val`` semantics)."""
+        return Tensor(bit_tensor.to_val())

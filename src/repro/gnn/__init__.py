@@ -1,0 +1,49 @@
+"""GNN models and execution paths: Cluster GCN / Batched GIN definitions,
+the fp32 reference, the quantized Tensor-Core forward, and QAT training."""
+
+from .activations import (
+    BatchNormParams,
+    accuracy,
+    batch_norm,
+    cross_entropy,
+    cross_entropy_grad,
+    log_softmax,
+    relu,
+    relu_grad,
+    softmax,
+    tanh,
+)
+from .models import GNNModel, LayerSpec, make_batched_gin, make_cluster_gcn
+from .quantized import (
+    QuantizedForwardResult,
+    quantize_model_weights,
+    quantized_forward,
+)
+from .reference import reference_forward, reference_forward_dense
+from .training import QATConfig, TrainResult, fake_quantize, train_qgnn
+
+__all__ = [
+    "BatchNormParams",
+    "GNNModel",
+    "LayerSpec",
+    "QATConfig",
+    "QuantizedForwardResult",
+    "TrainResult",
+    "accuracy",
+    "batch_norm",
+    "cross_entropy",
+    "cross_entropy_grad",
+    "fake_quantize",
+    "log_softmax",
+    "make_batched_gin",
+    "make_cluster_gcn",
+    "quantize_model_weights",
+    "quantized_forward",
+    "reference_forward",
+    "reference_forward_dense",
+    "relu",
+    "relu_grad",
+    "softmax",
+    "tanh",
+    "train_qgnn",
+]

@@ -1,0 +1,98 @@
+"""Neural-network primitive operations (NumPy, fp32/fp64).
+
+These are the standard ops QGTC fuses into its kernels (paper §4.5): ReLU,
+tanh, batch-norm, plus softmax / cross-entropy for the classification head
+and training.  Kept dependency-free and branch-light so both the reference
+path and the QAT trainer share one implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = [
+    "relu",
+    "relu_grad",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "cross_entropy_grad",
+    "batch_norm",
+    "BatchNormParams",
+    "accuracy",
+]
+
+from dataclasses import dataclass
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Elementwise ``max(x, 0)``."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of ReLU evaluated at pre-activation ``x``."""
+    return (x > 0).astype(x.dtype)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Elementwise hyperbolic tangent."""
+    return np.tanh(x)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilized."""
+    z = logits - logits.max(axis=-1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise log-softmax, numerically stabilized."""
+    z = logits - logits.max(axis=-1, keepdims=True)
+    return z - np.log(np.exp(z).sum(axis=-1, keepdims=True))
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean negative log-likelihood of integer ``labels`` under ``logits``."""
+    if logits.ndim != 2 or labels.shape != (logits.shape[0],):
+        raise ShapeError(
+            f"bad shapes for cross entropy: {logits.shape} vs {labels.shape}"
+        )
+    lsm = log_softmax(logits)
+    return float(-lsm[np.arange(labels.size), labels].mean())
+
+
+def cross_entropy_grad(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Gradient of :func:`cross_entropy` w.r.t. ``logits``."""
+    probs = softmax(logits)
+    probs[np.arange(labels.size), labels] -= 1.0
+    return probs / labels.size
+
+
+@dataclass(frozen=True)
+class BatchNormParams:
+    """Inference-mode batch-norm parameters (paper Eq. 8)."""
+
+    mean: np.ndarray
+    var: np.ndarray
+    gamma: np.ndarray
+    beta: np.ndarray
+    eps: float = 1e-5
+
+
+def batch_norm(x: np.ndarray, params: BatchNormParams) -> np.ndarray:
+    """Apply inference-mode batch normalization column-wise (paper Eq. 8)."""
+    return (
+        (x - params.mean) / np.sqrt(params.var + params.eps)
+    ) * params.gamma + params.beta
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy."""
+    if labels.size == 0:
+        return 0.0
+    return float((logits.argmax(axis=-1) == labels).mean())

@@ -1,0 +1,149 @@
+"""GNN model definitions: Cluster GCN and Batched GIN (paper §6 benchmarks).
+
+A model here is a stack of layer weight matrices plus the architectural
+recipe for one layer:
+
+* **Cluster GCN** (Kipf & Welling backbone run per METIS partition, paper's
+  main benchmark): aggregate first, then update —
+  ``H = act( Â (X) W + b )`` with ``Â`` the 0/1 adjacency including self
+  loops.  Paper setting: 3 layers x 16 hidden.
+* **Batched GIN** (Xu et al.): node update before neighbor aggregation
+  (the order the paper's §6.1 highlights for its higher
+  compute-to-communication ratio) — ``H = act( Â (X W + b) )``.
+  Paper setting: 3 layers x 64 hidden.
+
+Weights are fp32; the quantized executor quantizes them per layer at the
+configured bitwidth (pre-computed and cached, as the paper notes weights
+are reused across subgraphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["LayerSpec", "GNNModel", "make_cluster_gcn", "make_batched_gin"]
+
+ModelKind = Literal["gcn", "gin"]
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Dimensions and role of one GNN layer."""
+
+    in_dim: int
+    out_dim: int
+    #: Hidden layers apply the activation + requantization epilogue; the
+    #: output layer keeps full precision for the softmax (paper §4.5).
+    is_output: bool
+
+
+@dataclass
+class GNNModel:
+    """A stack of dense layers executed per subgraph batch."""
+
+    kind: ModelKind
+    weights: list[np.ndarray] = field(repr=False)
+    biases: list[np.ndarray] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gcn", "gin"):
+            raise ConfigError(f"unknown model kind {self.kind!r}")
+        if len(self.weights) != len(self.biases):
+            raise ConfigError("weights and biases must pair up")
+        if not self.weights:
+            raise ConfigError("a model needs at least one layer")
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            if w.ndim != 2 or b.shape != (w.shape[1],):
+                raise ConfigError(f"layer {i} has inconsistent shapes")
+            if i and self.weights[i - 1].shape[1] != w.shape[0]:
+                raise ConfigError(
+                    f"layer {i} input dim {w.shape[0]} != previous output "
+                    f"{self.weights[i - 1].shape[1]}"
+                )
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.weights)
+
+    @property
+    def feature_dim(self) -> int:
+        return self.weights[0].shape[0]
+
+    @property
+    def num_classes(self) -> int:
+        return self.weights[-1].shape[1]
+
+    def layer_specs(self) -> list[LayerSpec]:
+        """Per-layer dimension records used by the cost model."""
+        out = []
+        for i, w in enumerate(self.weights):
+            out.append(
+                LayerSpec(
+                    in_dim=w.shape[0],
+                    out_dim=w.shape[1],
+                    is_output=(i == len(self.weights) - 1),
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------ #
+    @property
+    def aggregate_first(self) -> bool:
+        """GCN aggregates before the linear update; GIN updates first."""
+        return self.kind == "gcn"
+
+
+def _init_layers(
+    dims: list[int], rng: np.random.Generator
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Glorot-uniform weights, zero biases."""
+    weights, biases = [], []
+    for d_in, d_out in zip(dims[:-1], dims[1:]):
+        limit = np.sqrt(6.0 / (d_in + d_out))
+        weights.append(
+            rng.uniform(-limit, limit, size=(d_in, d_out)).astype(np.float32)
+        )
+        biases.append(np.zeros(d_out, dtype=np.float32))
+    return weights, biases
+
+
+def _check_dims(feature_dim: int, hidden_dim: int, num_classes: int, num_layers: int):
+    if min(feature_dim, hidden_dim, num_classes) < 1:
+        raise ConfigError("all dimensions must be positive")
+    if num_layers < 1:
+        raise ConfigError(f"need at least one layer, got {num_layers}")
+
+
+def make_cluster_gcn(
+    feature_dim: int,
+    num_classes: int,
+    *,
+    hidden_dim: int = 16,
+    num_layers: int = 3,
+    seed: int = 0,
+) -> GNNModel:
+    """The paper's Cluster GCN benchmark model (3 layers, 16 hidden)."""
+    _check_dims(feature_dim, hidden_dim, num_classes, num_layers)
+    dims = [feature_dim] + [hidden_dim] * (num_layers - 1) + [num_classes]
+    weights, biases = _init_layers(dims, np.random.default_rng(seed))
+    return GNNModel(kind="gcn", weights=weights, biases=biases)
+
+
+def make_batched_gin(
+    feature_dim: int,
+    num_classes: int,
+    *,
+    hidden_dim: int = 64,
+    num_layers: int = 3,
+    seed: int = 0,
+) -> GNNModel:
+    """The paper's Batched GIN benchmark model (3 layers, 64 hidden)."""
+    _check_dims(feature_dim, hidden_dim, num_classes, num_layers)
+    dims = [feature_dim] + [hidden_dim] * (num_layers - 1) + [num_classes]
+    weights, biases = _init_layers(dims, np.random.default_rng(seed))
+    return GNNModel(kind="gin", weights=weights, biases=biases)

@@ -1,0 +1,161 @@
+"""Subgraph batching for Cluster-GCN-style mini-batch GNN computation
+(paper §4.1).
+
+After METIS partitioning, QGTC gathers several partitions into a *batch*:
+the batch's adjacency matrix is block-diagonal (no edges cross partition
+boundaries inside a batch — inter-partition edges are dropped, exactly as
+Cluster-GCN does), its feature matrix is the row-concatenation of member
+features.  Those cross-subgraph zero blocks are the dominant source of the
+all-zero TC tiles that zero-tile jumping skips (paper §6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..core.bitpack import PackedBits, pack_matrix
+from ..errors import PartitionError, ShapeError
+from .csr import CSRGraph
+
+__all__ = ["Subgraph", "SubgraphBatch", "induced_subgraphs", "batch_subgraphs"]
+
+
+@dataclass(frozen=True)
+class Subgraph:
+    """One partition: the induced graph plus its original node ids."""
+
+    graph: CSRGraph
+    original_nodes: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+
+def induced_subgraphs(graph: CSRGraph, assignment: np.ndarray) -> list[Subgraph]:
+    """Split a graph into induced subgraphs by a partition assignment.
+
+    ``assignment[v]`` is the part id of node ``v``; ids must form the range
+    ``0..num_parts-1``.  Empty parts are rejected — a partitioner that
+    produces them is broken, and silently dropping them would skew the
+    Figure 8 tile census.
+    """
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if assignment.shape != (graph.num_nodes,):
+        raise PartitionError(
+            f"assignment shape {assignment.shape} != ({graph.num_nodes},)"
+        )
+    if assignment.size == 0:
+        return []
+    num_parts = int(assignment.max()) + 1
+    if assignment.min() < 0:
+        raise PartitionError("assignment contains negative part ids")
+    counts = np.bincount(assignment, minlength=num_parts)
+    if (counts == 0).any():
+        empty = np.flatnonzero(counts == 0)
+        raise PartitionError(f"empty partitions: {empty[:10].tolist()}")
+    order = np.argsort(assignment, kind="stable")
+    boundaries = np.cumsum(counts)[:-1]
+    groups = np.split(order, boundaries)
+    return [Subgraph(graph=graph.subgraph(g), original_nodes=g) for g in groups]
+
+
+@dataclass(frozen=True)
+class SubgraphBatch:
+    """A batch of subgraphs processed in one GPU round (paper §4.1).
+
+    The adjacency is block-diagonal over the members.  Helper methods
+    materialize the dense/packed adjacency and stacked features the kernel
+    consumes.
+    """
+
+    members: tuple[Subgraph, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise PartitionError("a batch needs at least one subgraph")
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(s.num_nodes for s in self.members)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(s.num_edges for s in self.members)
+
+    @property
+    def node_offsets(self) -> np.ndarray:
+        """Start row of each member in the block-diagonal layout."""
+        sizes = np.array([s.num_nodes for s in self.members], dtype=np.int64)
+        return np.concatenate([[0], np.cumsum(sizes)[:-1]])
+
+    def dense_adjacency(self, *, self_loops: bool = True) -> np.ndarray:
+        """Block-diagonal 0/1 adjacency of the batch.
+
+        ``self_loops`` adds the identity — GCN aggregation includes the
+        node's own embedding (paper Eq. 1 aggregates ``N(v) ∪ {v}``).
+        """
+        n = self.num_nodes
+        if n > 65536:
+            raise ShapeError(f"batch of {n} nodes too large to densify")
+        out = np.zeros((n, n), dtype=np.uint8)
+        for sub, off in zip(self.members, self.node_offsets):
+            out[off : off + sub.num_nodes, off : off + sub.num_nodes] = (
+                sub.graph.adjacency_dense()
+            )
+        if self_loops:
+            np.fill_diagonal(out, 1)
+        return out
+
+    def packed_adjacency(
+        self, *, self_loops: bool = True, pad_vectors: int = 8
+    ) -> PackedBits:
+        """1-bit column-compressed adjacency — the kernel's left operand."""
+        return pack_matrix(
+            self.dense_adjacency(self_loops=self_loops).astype(np.int64),
+            1,
+            layout="col",
+            pad_vectors=pad_vectors,
+        )
+
+    def features(self) -> np.ndarray:
+        """Row-stacked member features, aligned with the adjacency rows."""
+        feats = []
+        for sub in self.members:
+            if sub.graph.features is None:
+                raise ShapeError("batch member has no features")
+            feats.append(sub.graph.features)
+        return np.concatenate(feats, axis=0)
+
+    def labels(self) -> np.ndarray:
+        """Row-stacked member labels."""
+        labs = []
+        for sub in self.members:
+            if sub.graph.labels is None:
+                raise ShapeError("batch member has no labels")
+            labs.append(sub.graph.labels)
+        return np.concatenate(labs, axis=0)
+
+    def member_slices(self) -> list[slice]:
+        """Row ranges of each member inside the batch layout."""
+        out = []
+        for sub, off in zip(self.members, self.node_offsets):
+            out.append(slice(int(off), int(off) + sub.num_nodes))
+        return out
+
+
+def batch_subgraphs(
+    subgraphs: Sequence[Subgraph], batch_size: int
+) -> Iterator[SubgraphBatch]:
+    """Group subgraphs into fixed-size batches (last batch may be short)."""
+    if batch_size < 1:
+        raise PartitionError(f"batch_size must be >= 1, got {batch_size}")
+    for start in range(0, len(subgraphs), batch_size):
+        yield SubgraphBatch(members=tuple(subgraphs[start : start + batch_size]))

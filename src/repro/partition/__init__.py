@@ -1,0 +1,34 @@
+"""Graph partitioning: a METIS-like multilevel partitioner plus the BFS and
+label-propagation baselines the paper compares against (paper §4.1)."""
+
+from .bfs import bfs_partition
+from .coarsen import CoarseGraph, Level, build_hierarchy, coarsen_once
+from .initial import bfs_order, initial_partition
+from .interface import PARTITION_METHODS, PartitionResult, partition_graph
+from .label_prop import label_prop_partition, label_propagation_communities
+from .matching import heavy_edge_matching
+from .metis_like import metis_like_partition
+from .quality import balance, edge_cut, intra_edge_fraction, modularity
+from .refine import refine_partition
+
+__all__ = [
+    "PARTITION_METHODS",
+    "CoarseGraph",
+    "Level",
+    "PartitionResult",
+    "balance",
+    "bfs_order",
+    "bfs_partition",
+    "build_hierarchy",
+    "coarsen_once",
+    "edge_cut",
+    "heavy_edge_matching",
+    "initial_partition",
+    "intra_edge_fraction",
+    "label_prop_partition",
+    "label_propagation_communities",
+    "metis_like_partition",
+    "modularity",
+    "partition_graph",
+    "refine_partition",
+]

@@ -1,0 +1,118 @@
+"""Graph contraction for the multilevel partitioner.
+
+A matching defines a mapping from fine nodes to coarse nodes (matched pairs
+merge); contraction sums parallel edge weights and node weights.  The
+hierarchy records each level's mapping so assignments can be projected back
+during uncoarsening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import PartitionError
+from ..graph.csr import CSRGraph
+from .matching import heavy_edge_matching
+
+__all__ = ["Level", "CoarseGraph", "coarsen_once", "build_hierarchy"]
+
+
+@dataclass
+class CoarseGraph:
+    """A weighted graph at one coarsening level."""
+
+    adj: sp.csr_matrix
+    node_weight: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        return self.adj.shape[0]
+
+    @classmethod
+    def from_csr(cls, graph: CSRGraph) -> "CoarseGraph":
+        adj = graph.to_scipy().astype(np.float64)
+        return cls(adj=adj, node_weight=np.ones(graph.num_nodes, dtype=np.float64))
+
+
+@dataclass
+class Level:
+    """One rung of the multilevel hierarchy."""
+
+    graph: CoarseGraph
+    #: ``fine_to_coarse[v]`` — coarse node id of fine node ``v`` (absent on
+    #: the finest level).
+    fine_to_coarse: np.ndarray | None = None
+
+
+def coarsen_once(
+    graph: CoarseGraph,
+    *,
+    max_node_weight: float | None = None,
+    rng: np.random.Generator | None = None,
+) -> tuple[CoarseGraph, np.ndarray]:
+    """Contract one heavy-edge matching.
+
+    Returns the coarse graph and the fine→coarse node mapping.
+    """
+    n = graph.num_nodes
+    match = heavy_edge_matching(
+        graph.adj,
+        node_weight=graph.node_weight,
+        max_node_weight=max_node_weight,
+        rng=rng,
+    )
+    # Pair representative = min(v, match[v]); contiguous coarse ids.
+    rep = np.minimum(np.arange(n), match)
+    coarse_ids = np.full(n, -1, dtype=np.int64)
+    reps = np.unique(rep)
+    coarse_ids[reps] = np.arange(reps.size)
+    mapping = coarse_ids[rep]
+    if (mapping < 0).any():
+        raise PartitionError("internal error: incomplete contraction mapping")
+
+    proj = sp.csr_matrix(
+        (np.ones(n), (np.arange(n), mapping)), shape=(n, reps.size)
+    )
+    coarse_adj = (proj.T @ graph.adj @ proj).tocsr()
+    coarse_adj.setdiag(0)
+    coarse_adj.eliminate_zeros()
+    coarse_nw = np.zeros(reps.size, dtype=np.float64)
+    np.add.at(coarse_nw, mapping, graph.node_weight)
+    return CoarseGraph(adj=coarse_adj, node_weight=coarse_nw), mapping
+
+
+def build_hierarchy(
+    graph: CSRGraph,
+    *,
+    coarsest_nodes: int,
+    max_levels: int = 20,
+    min_shrink: float = 0.93,
+    rng: np.random.Generator | None = None,
+) -> list[Level]:
+    """Coarsen until ``coarsest_nodes`` is reached or progress stalls.
+
+    Returns levels finest-first; ``levels[i].fine_to_coarse`` maps level
+    ``i`` nodes to level ``i+1`` nodes.
+    """
+    if coarsest_nodes < 1:
+        raise PartitionError(f"coarsest_nodes must be >= 1, got {coarsest_nodes}")
+    rng = rng or np.random.default_rng(0)
+    levels = [Level(graph=CoarseGraph.from_csr(graph))]
+    # METIS-style vertex-weight cap: no coarse node may grow past ~1.5x the
+    # average weight at the coarsest target, else balance becomes
+    # unreachable for the initial partitioner.
+    max_node_weight = 1.5 * graph.num_nodes / coarsest_nodes
+    while (
+        levels[-1].graph.num_nodes > coarsest_nodes and len(levels) <= max_levels
+    ):
+        coarse, mapping = coarsen_once(
+            levels[-1].graph, max_node_weight=max_node_weight, rng=rng
+        )
+        if coarse.num_nodes >= levels[-1].graph.num_nodes * min_shrink:
+            break  # matching starved (e.g. star graphs); stop coarsening
+        levels[-1].fine_to_coarse = mapping
+        levels.append(Level(graph=coarse))
+    return levels

@@ -1,0 +1,148 @@
+"""Initial k-way partition of the coarsest graph.
+
+Greedy graph growing (GGGP): parts are grown one at a time from a
+low-degree seed, repeatedly absorbing the frontier node with the highest
+edge weight into the growing part, until the part reaches its weight
+target.  This is METIS's initial-partitioning strategy, feasible in pure
+Python because the coarsest graph is a small multiple of ``k``.
+
+A plain BFS ordering helper is kept for the seed search and for callers
+that want the cheaper chunking variant.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from ..errors import PartitionError
+from .coarsen import CoarseGraph
+
+__all__ = ["bfs_order", "initial_partition"]
+
+
+def bfs_order(adj: sp.csr_matrix, *, seed_node: int = 0) -> np.ndarray:
+    """Global BFS ordering covering every connected component.
+
+    Starts each component from its lowest-id unvisited node (the first
+    component from ``seed_node``).
+    """
+    n = adj.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if not 0 <= seed_node < n:
+        raise PartitionError(f"seed node {seed_node} outside [0, {n})")
+    visited = np.zeros(n, dtype=bool)
+    order = []
+    start = seed_node
+    while True:
+        nodes = csgraph.breadth_first_order(
+            adj, i_start=start, directed=False, return_predecessors=False
+        )
+        order.append(nodes.astype(np.int64))
+        visited[nodes] = True
+        remaining = np.flatnonzero(~visited)
+        if remaining.size == 0:
+            break
+        start = int(remaining[0])
+    return np.concatenate(order)
+
+
+def initial_partition(graph: CoarseGraph, num_parts: int) -> np.ndarray:
+    """Greedy graph growing k-way partition of the coarsest graph.
+
+    Parts are grown in sequence.  Each part starts from the unassigned
+    node with the smallest degree (a peripheral seed) and greedily absorbs
+    the unassigned frontier node with the largest edge weight into the
+    part, stopping when the part's node weight reaches the remaining-
+    weight / remaining-parts target.  Every part is non-empty by
+    construction; disconnected leftovers spill into the last parts.
+    """
+    n = graph.num_nodes
+    if num_parts < 1:
+        raise PartitionError(f"num_parts must be >= 1, got {num_parts}")
+    if num_parts > n:
+        raise PartitionError(f"cannot cut {n} nodes into {num_parts} parts")
+    adj = graph.adj
+    indptr, indices, data = adj.indptr, adj.indices, adj.data
+    nw = graph.node_weight
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+
+    assignment = np.full(n, -1, dtype=np.int64)
+    remaining_weight = float(nw.sum())
+    unassigned = n
+    # Seeds are tried lightest-degree first (classic pseudo-peripheral pick).
+    seed_order = np.argsort(degrees, kind="stable")
+    seed_cursor = 0
+
+    def next_seed() -> int | None:
+        nonlocal seed_cursor
+        while seed_cursor < n and assignment[seed_order[seed_cursor]] >= 0:
+            seed_cursor += 1
+        return int(seed_order[seed_cursor]) if seed_cursor < n else None
+
+    for part in range(num_parts):
+        parts_left = num_parts - part
+        target = remaining_weight / parts_left
+        seed = next_seed()
+        if seed is None:
+            raise PartitionError("ran out of seeds before filling all parts")
+
+        # Grow: max-gain frontier via a lazy max-heap.  When the frontier
+        # exhausts before the target (the seed sat in a small component),
+        # re-seed and keep growing the same part — otherwise parts seeded
+        # at isolated nodes starve and the slack lands on the final part.
+        part_weight = 0.0
+        gain = {}  # node -> current connection weight to the part
+        heap: list[tuple[float, int]] = []
+
+        def absorb(v: int) -> None:
+            nonlocal part_weight, remaining_weight, unassigned
+            assignment[v] = part
+            part_weight += float(nw[v])
+            remaining_weight -= float(nw[v])
+            unassigned -= 1
+            for e in range(indptr[v], indptr[v + 1]):
+                u = indices[e]
+                if assignment[u] >= 0:
+                    continue
+                new_gain = gain.get(u, 0.0) + float(data[e])
+                gain[u] = new_gain
+                heapq.heappush(heap, (-new_gain, u))
+
+        # Seeds bypass the overshoot cap: they are absorbed directly, which
+        # also guarantees progress (a capped heavy seed re-selected through
+        # the heap would spin forever).
+        absorb(seed)
+        # Reserve one node for each part still to be seeded — otherwise a
+        # coarse graph with few nodes per part starves the late parts.
+        while part_weight < target and unassigned > parts_left - 1:
+            if not heap:
+                seed = next_seed()
+                if seed is None:
+                    break
+                absorb(seed)
+                continue
+            neg_gain, v = heapq.heappop(heap)
+            if assignment[v] >= 0 or -neg_gain < gain.get(v, 0.0):
+                continue  # stale heap entry
+            # Skip rather than blow far past target on a heavy node.
+            if part_weight + nw[v] > target * 1.5 and parts_left > 1:
+                continue
+            absorb(v)
+
+    # Any leftovers (possible when late parts hit the heavy-node skip):
+    # sweep into the lightest parts.
+    leftovers = np.flatnonzero(assignment < 0)
+    if leftovers.size:
+        part_weights = np.zeros(num_parts, dtype=np.float64)
+        assigned = assignment >= 0
+        np.add.at(part_weights, assignment[assigned], nw[assigned])
+        for v in leftovers:
+            part = int(np.argmin(part_weights))
+            assignment[v] = part
+            part_weights[part] += nw[v]
+    return assignment

@@ -1,0 +1,66 @@
+"""Uniform entry point for all partitioning methods."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graph.csr import CSRGraph
+from .bfs import bfs_partition
+from .label_prop import label_prop_partition
+from .metis_like import metis_like_partition
+from .quality import balance, edge_cut, intra_edge_fraction, modularity
+
+__all__ = ["PartitionResult", "partition_graph", "PARTITION_METHODS"]
+
+#: Method registry: name -> callable(graph, num_parts, **kwargs).
+PARTITION_METHODS = {
+    "metis": metis_like_partition,
+    "bfs": bfs_partition,
+    "label_prop": label_prop_partition,
+}
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """A partition plus its quality metrics (see :mod:`.quality`)."""
+
+    assignment: np.ndarray
+    num_parts: int
+    method: str
+    edge_cut: int
+    intra_edge_fraction: float
+    balance: float
+    modularity: float
+
+    def part_sizes(self) -> np.ndarray:
+        return np.bincount(self.assignment, minlength=self.num_parts)
+
+
+def partition_graph(
+    graph: CSRGraph, num_parts: int, *, method: str = "metis", **kwargs
+) -> PartitionResult:
+    """Partition a graph and report quality in one call.
+
+    ``method`` is one of ``"metis"`` (the multilevel METIS substitute,
+    default — what QGTC uses), ``"bfs"`` (Cuthill–McKee chunking) or
+    ``"label_prop"`` (clustering baseline).  Extra kwargs go to the method.
+    """
+    try:
+        fn = PARTITION_METHODS[method]
+    except KeyError:
+        raise PartitionError(
+            f"unknown method {method!r}; available: {sorted(PARTITION_METHODS)}"
+        ) from None
+    assignment = fn(graph, num_parts, **kwargs)
+    return PartitionResult(
+        assignment=assignment,
+        num_parts=num_parts,
+        method=method,
+        edge_cut=edge_cut(graph, assignment),
+        intra_edge_fraction=intra_edge_fraction(graph, assignment),
+        balance=balance(assignment, num_parts),
+        modularity=modularity(graph, assignment),
+    )

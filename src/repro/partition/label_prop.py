@@ -1,0 +1,120 @@
+"""Label-propagation clustering baseline (paper §4.1's "graph clustering
+approaches [17, 29]" — Raghavan et al.'s near-linear community detection).
+
+Communities are found by synchronous label propagation (each node adopts
+the most frequent label among its neighbors), then packed into exactly
+``k`` balanced parts: large communities are split, small ones are bin-
+packed first-fit-decreasing.  Captures communities well but controls
+balance only loosely — the trade-off the paper notes when preferring METIS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graph.csr import CSRGraph
+
+__all__ = ["label_propagation_communities", "label_prop_partition"]
+
+
+def _mode_per_row(rows: np.ndarray, values: np.ndarray, n: int) -> np.ndarray:
+    """For each row id in [0, n), the most frequent value among its entries.
+
+    Vectorized run-length trick: sort (row, value) pairs, count runs, keep
+    the heaviest run per row.  Rows with no entries keep value -1.
+    """
+    out = np.full(n, -1, dtype=np.int64)
+    if rows.size == 0:
+        return out
+    order = np.lexsort((values, rows))
+    r, v = rows[order], values[order]
+    new_run = np.empty(r.size, dtype=bool)
+    new_run[0] = True
+    new_run[1:] = (r[1:] != r[:-1]) | (v[1:] != v[:-1])
+    run_ids = np.cumsum(new_run) - 1
+    counts = np.bincount(run_ids)
+    run_row = r[new_run]
+    run_val = v[new_run]
+    # Heaviest run per row: scatter-max on counts, then match.
+    best_count = np.zeros(n, dtype=np.int64)
+    np.maximum.at(best_count, run_row, counts)
+    is_best = counts == best_count[run_row]
+    # Ties: later runs overwrite earlier ones (deterministic given the sort).
+    out[run_row[is_best]] = run_val[is_best]
+    return out
+
+
+def label_propagation_communities(
+    graph: CSRGraph, *, max_rounds: int = 10, seed: int = 0
+) -> np.ndarray:
+    """Community labels by synchronous label propagation.
+
+    Returns contiguous community ids ``0..c-1``.  Deterministic given the
+    seed (used only to randomize the node visit order encoded in initial
+    labels).
+    """
+    n = graph.num_nodes
+    rng = np.random.default_rng(seed)
+    labels = rng.permutation(n).astype(np.int64)
+    rows = np.repeat(np.arange(n), graph.degrees())
+    for _ in range(max_rounds):
+        neigh = labels[graph.indices]
+        new_labels = _mode_per_row(rows, neigh, n)
+        isolated = new_labels < 0
+        new_labels[isolated] = labels[isolated]
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+    _, contiguous = np.unique(labels, return_inverse=True)
+    return contiguous
+
+
+def label_prop_partition(
+    graph: CSRGraph, num_parts: int, *, max_rounds: int = 10, seed: int = 0
+) -> np.ndarray:
+    """Pack label-propagation communities into exactly ``num_parts`` parts.
+
+    Oversized communities (> n/k nodes) are split into chunks; remaining
+    communities are first-fit-decreasing bin-packed into the lightest part.
+    """
+    n = graph.num_nodes
+    if num_parts < 1:
+        raise PartitionError(f"num_parts must be >= 1, got {num_parts}")
+    if num_parts > n:
+        raise PartitionError(f"cannot split {n} nodes into {num_parts} parts")
+    comms = label_propagation_communities(graph, max_rounds=max_rounds, seed=seed)
+    target = max(n // num_parts, 1)
+
+    # Split oversized communities into target-sized chunks.
+    chunks: list[np.ndarray] = []
+    for c in range(int(comms.max()) + 1):
+        members = np.flatnonzero(comms == c)
+        for start in range(0, members.size, target):
+            chunks.append(members[start : start + target])
+    # We need at least num_parts chunks; split the largest until we do.
+    chunks.sort(key=len, reverse=True)
+    while len(chunks) < num_parts:
+        big = chunks.pop(0)
+        if big.size < 2:
+            raise PartitionError(
+                f"cannot create {num_parts} non-empty parts from this graph"
+            )
+        half = big.size // 2
+        chunks.extend([big[:half], big[half:]])
+        chunks.sort(key=len, reverse=True)
+
+    # First-fit-decreasing into the lightest part.
+    assignment = np.empty(n, dtype=np.int64)
+    load = np.zeros(num_parts, dtype=np.int64)
+    filled = np.zeros(num_parts, dtype=bool)
+    for chunk in chunks:
+        # Prefer an empty part while any remain, then the lightest.
+        if not filled.all():
+            part = int(np.flatnonzero(~filled)[0])
+        else:
+            part = int(np.argmin(load))
+        assignment[chunk] = part
+        load[part] += chunk.size
+        filled[part] = True
+    return assignment

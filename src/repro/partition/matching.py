@@ -1,0 +1,91 @@
+"""Vectorized greedy heavy-edge matching for multilevel coarsening.
+
+METIS coarsens by matching each node with the neighbor sharing its heaviest
+edge and contracting the pairs.  A strictly sequential greedy walk does not
+vectorize, so we use the standard parallel relaxation (locally-heaviest
+matching): sort edges by weight, accept every edge that is the *first
+surviving appearance* of both endpoints, repeat on the remainder.  Each
+round is pure NumPy; 2–3 rounds recover almost all of the sequential
+matching's weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["heavy_edge_matching"]
+
+
+def _match_round(
+    src: np.ndarray,
+    dst: np.ndarray,
+    weight: np.ndarray,
+    match: np.ndarray,
+    rng: np.random.Generator,
+) -> int:
+    """One locally-heaviest round; mutates ``match``; returns pairs added."""
+    alive = (match[src] < 0) & (match[dst] < 0)
+    if not alive.any():
+        return 0
+    s, d, w = src[alive], dst[alive], weight[alive]
+    # Random jitter breaks weight ties differently each round, which keeps
+    # pathological regular graphs (all weights equal) from starving.
+    order = np.argsort(-(w + rng.random(w.size) * 1e-3), kind="stable")
+    s, d = s[order], d[order]
+    n = match.size
+    first_pos = np.full(n, s.size, dtype=np.int64)
+    pos = np.arange(s.size, dtype=np.int64)
+    np.minimum.at(first_pos, s, pos)
+    np.minimum.at(first_pos, d, pos)
+    accept = (first_pos[s] == pos) & (first_pos[d] == pos)
+    a_s, a_d = s[accept], d[accept]
+    match[a_s] = a_d
+    match[a_d] = a_s
+    return int(a_s.size)
+
+
+def heavy_edge_matching(
+    adj: sp.csr_matrix,
+    *,
+    rounds: int = 3,
+    node_weight: np.ndarray | None = None,
+    max_node_weight: float | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Match nodes along heavy edges.
+
+    Parameters
+    ----------
+    adj:
+        Symmetric weighted adjacency (CSR).  Self-loops are ignored.
+    rounds:
+        Locally-heaviest rounds to run.
+    node_weight, max_node_weight:
+        When given, edges whose combined endpoint weight exceeds
+        ``max_node_weight`` are never matched.  This is METIS's vertex-
+        weight cap: without it hub contraction snowballs into super-nodes
+        heavier than a whole target partition, making balance unreachable.
+
+    Returns
+    -------
+    ``match`` array: ``match[v]`` is ``v``'s partner, or ``v`` itself when
+    the node stayed unmatched (isolated or starved).
+    """
+    rng = rng or np.random.default_rng(0)
+    n = adj.shape[0]
+    coo = sp.triu(adj, k=1).tocoo()
+    match = np.full(n, -1, dtype=np.int64)
+    if coo.nnz:
+        src = coo.row.astype(np.int64)
+        dst = coo.col.astype(np.int64)
+        weight = coo.data.astype(np.float64)
+        if node_weight is not None and max_node_weight is not None:
+            fits = node_weight[src] + node_weight[dst] <= max_node_weight
+            src, dst, weight = src[fits], dst[fits], weight[fits]
+        for _ in range(rounds):
+            if src.size == 0 or _match_round(src, dst, weight, match, rng) == 0:
+                break
+    unmatched = match < 0
+    match[unmatched] = np.flatnonzero(unmatched)
+    return match

@@ -1,0 +1,94 @@
+"""Multilevel k-way graph partitioner — the METIS substitute (paper §4.1).
+
+The real QGTC uses METIS [Karypis & Kumar].  METIS binaries are not
+available offline, so we implement the same three-phase multilevel scheme:
+
+1. **Coarsening** — repeated heavy-edge matching and contraction until the
+   graph is a small multiple of ``k`` (``repro.partition.coarsen``).
+2. **Initial partition** — weight-balanced BFS chunking of the coarsest
+   graph (``repro.partition.initial``).
+3. **Uncoarsening + refinement** — project the assignment back level by
+   level, running gain-ordered boundary refinement at each level
+   (``repro.partition.refine``).
+
+The quality target is the paper's: maximize intra-partition edges at
+bounded imbalance.  ``tests/partition`` asserts this partitioner beats the
+BFS baseline on clustered graphs and recovers planted communities exactly
+on caveman graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graph.csr import CSRGraph
+from .coarsen import build_hierarchy
+from .initial import initial_partition
+from .refine import refine_partition
+
+__all__ = ["metis_like_partition"]
+
+
+def metis_like_partition(
+    graph: CSRGraph,
+    num_parts: int,
+    *,
+    seed: int = 0,
+    balance_tolerance: float = 1.10,
+    refine_passes: int = 4,
+    coarsest_multiple: int = 4,
+) -> np.ndarray:
+    """Partition ``graph`` into ``num_parts`` balanced parts.
+
+    Parameters
+    ----------
+    num_parts:
+        Part count (the paper uses 1500 for Table 1 graphs).
+    balance_tolerance:
+        Maximum part weight relative to the mean (METIS's ``ufactor``).
+    refine_passes:
+        Refinement passes per uncoarsening level.
+    coarsest_multiple:
+        Coarsening stops at ``coarsest_multiple * num_parts`` nodes, so the
+        initial partitioner has a few nodes per part to work with.
+
+    Returns
+    -------
+    ``(num_nodes,)`` int64 part ids in ``[0, num_parts)``; every part is
+    non-empty.
+    """
+    n = graph.num_nodes
+    if num_parts < 1:
+        raise PartitionError(f"num_parts must be >= 1, got {num_parts}")
+    if num_parts > n:
+        raise PartitionError(f"cannot split {n} nodes into {num_parts} parts")
+    if num_parts == 1:
+        return np.zeros(n, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+
+    coarsest_nodes = max(coarsest_multiple * num_parts, 128)
+    levels = build_hierarchy(graph, coarsest_nodes=coarsest_nodes, rng=rng)
+
+    assignment = initial_partition(levels[-1].graph, num_parts)
+    assignment = refine_partition(
+        levels[-1].graph,
+        assignment,
+        num_parts,
+        max_passes=refine_passes,
+        balance_tolerance=balance_tolerance,
+    )
+
+    # Uncoarsen: project through each mapping, refine at the finer level.
+    for level in reversed(levels[:-1]):
+        if level.fine_to_coarse is None:
+            raise PartitionError("internal error: missing hierarchy mapping")
+        assignment = assignment[level.fine_to_coarse]
+        assignment = refine_partition(
+            level.graph,
+            assignment,
+            num_parts,
+            max_passes=refine_passes,
+            balance_tolerance=balance_tolerance,
+        )
+    return assignment

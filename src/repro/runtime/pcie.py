@@ -1,0 +1,48 @@
+"""Host-device transfer model (paper §4.6 context).
+
+Subgraph data must cross PCIe every batch; the paper's point is that moving
+*compressed low-bit* operands instead of fp32 densities shrinks that
+traffic by more than an order of magnitude.  The model charges a fixed
+per-transaction latency plus bytes over effective bandwidth — enough to
+reproduce both the bandwidth saving and the transaction-count saving of
+compound packing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeviceError
+from ..tc.hardware import DeviceSpec
+
+__all__ = ["TransferEstimate", "transfer_time"]
+
+
+@dataclass(frozen=True)
+class TransferEstimate:
+    """One or more host-device transactions, modeled."""
+
+    bytes_moved: int
+    transactions: int
+    seconds: float
+
+    @property
+    def effective_gbs(self) -> float:
+        """Achieved GB/s including latency overheads."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.bytes_moved / self.seconds / 1e9
+
+
+def transfer_time(
+    num_bytes: int, device: DeviceSpec, *, transactions: int = 1
+) -> TransferEstimate:
+    """Model moving ``num_bytes`` in ``transactions`` PCIe transfers."""
+    if num_bytes < 0:
+        raise DeviceError(f"negative transfer size: {num_bytes}")
+    if transactions < 1:
+        raise DeviceError(f"transactions must be >= 1, got {transactions}")
+    seconds = transactions * device.pcie_latency_s + num_bytes / device.effective_pcie_bw
+    return TransferEstimate(
+        bytes_moved=num_bytes, transactions=transactions, seconds=seconds
+    )

@@ -1,0 +1,239 @@
+"""Analytical timing model for the emulated Tensor Core kernels.
+
+Converts :class:`~repro.tc.counters.KernelCounters` into modeled seconds on
+a :class:`~repro.tc.hardware.DeviceSpec`.  The model is a roofline with two
+additive penalty terms:
+
+.. math::
+
+    t = t_{launch} + \\max(t_{compute}, t_{stream}) + t_{reload}
+
+* ``t_compute`` — bmma instructions divided by the calibrated effective
+  1-bit TC rate (Table 3 fit; see :mod:`repro.tc.hardware`).  The
+  cross-tile schedule pays a small register-pressure factor when the
+  working set is small enough for the kernel to be latency-bound — this is
+  the regime in which the paper's Figure 10 measures reuse *hurting*.
+* ``t_stream`` — coalesced global traffic over effective DRAM bandwidth.
+* ``t_reload`` — repeated A-tile fetches (the cross-bit schedule's
+  signature cost).  Re-reads are free while the packed A plane fits in L2
+  and pay scattered-access bandwidth once it spills — which is what makes
+  non-zero tile reuse matter only for large matrices (Figure 10's shape).
+
+All outputs are *modeled seconds* on the emulated device, not wall-clock of
+this process; benchmark harnesses label them as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ShapeError
+from .counters import KernelCounters
+from .hardware import RTX3090, DeviceSpec
+from .kernel import KernelConfig, derive_tile_counters
+from .wmma import TILE_OPERAND_BYTES
+
+__all__ = [
+    "MMA_FLOPS",
+    "TimeBreakdown",
+    "TCCostModel",
+    "useful_flops",
+    "tflops",
+]
+
+#: Bit-level FLOPs of one m8n8k128 bmma (multiply + add per MAC).
+MMA_FLOPS = 2 * 8 * 8 * 128
+
+#: Compute-rate penalty of the cross-tile schedule when the kernel is
+#: latency-bound (small working set): holding one accumulator per bit level
+#: raises register pressure and lowers occupancy.
+_CROSS_TILE_PENALTY_SMALL = 1.06
+#: Residual penalty once the kernel is throughput-bound.
+_CROSS_TILE_PENALTY_LARGE = 1.02
+#: Fraction of L2 available to left-operand tile re-reads; the rest is
+#: occupied by streamed B planes and the C working set.
+_L2_A_SHARE = 0.25
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Modeled kernel time, decomposed for reporting and ablation."""
+
+    launch_s: float
+    compute_s: float
+    stream_s: float
+    reload_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Roofline total: launch + max(compute, stream) + reload."""
+        return self.launch_s + max(self.compute_s, self.stream_s) + self.reload_s
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_s * 1e3
+
+    @property
+    def bound(self) -> str:
+        """Which roofline arm dominates: ``"compute"`` or ``"memory"``."""
+        return "compute" if self.compute_s >= self.stream_s else "memory"
+
+
+def useful_flops(m: int, k: int, n: int) -> int:
+    """Algorithmic FLOPs of an ``m x k x n`` GEMM (what TFLOPs plots count)."""
+    return 2 * m * k * n
+
+
+def tflops(flops: float, seconds: float) -> float:
+    """Throughput in TFLOP/s; 0 for degenerate timings."""
+    if seconds <= 0:
+        return 0.0
+    return flops / seconds / 1e12
+
+
+class TCCostModel:
+    """Timing model for QGTC kernels on an emulated device."""
+
+    def __init__(self, device: DeviceSpec = RTX3090):
+        self.device = device
+
+    # ------------------------------------------------------------------ #
+    @property
+    def mma_rate(self) -> float:
+        """Sustained bmma instructions per second at full utilization."""
+        return self.device.bit1_tc_effective_tflops * 1e12 / MMA_FLOPS
+
+    def kernel_time(self, counters: KernelCounters) -> TimeBreakdown:
+        """Modeled time of one launch described by measured counters."""
+        dev = self.device
+        bits = counters.tags.get("bits")
+        tiles_mk = counters.tags.get("tiles_mk")
+
+        # --- compute arm -------------------------------------------------- #
+        compute = counters.mma_ops / self.mma_rate
+        a_plane_bytes = (
+            tiles_mk * TILE_OPERAND_BYTES if tiles_mk is not None else None
+        )
+        # L2 residency of the packed A plane: capacity is shared with the
+        # streamed B planes and the C working set, so only a fraction is
+        # available to A tile re-reads.
+        if a_plane_bytes is not None and a_plane_bytes > 0:
+            available = dev.l2_bytes * _L2_A_SHARE
+            miss_fraction = min(max(1.0 - available / a_plane_bytes, 0.0), 1.0)
+        else:
+            miss_fraction = 0.0
+        if counters.schedule == "cross-tile" and counters.mma_ops:
+            resident = 1.0 - miss_fraction
+            compute *= _CROSS_TILE_PENALTY_LARGE + resident * (
+                _CROSS_TILE_PENALTY_SMALL - _CROSS_TILE_PENALTY_LARGE
+            )
+
+        # --- memory arms --------------------------------------------------- #
+        # Repeat A-tile fetches beyond the first pass are L2 hits for the
+        # resident part of the plane, scattered DRAM reads for the rest.
+        repeat_loads = max(counters.frag_loads_a - counters.tiles_processed, 0)
+        reload_bytes = repeat_loads * TILE_OPERAND_BYTES
+        reload = reload_bytes * miss_fraction / (dev.uncoalesced_bw_gbs * 1e9)
+        stream_bytes = counters.global_bytes - reload_bytes
+        stream = max(stream_bytes, 0) / dev.effective_dram_bw
+
+        launch = counters.launches * dev.kernel_launch_s
+        # Pipeline drain/refill between bit-plane passes (see DeviceSpec).
+        # Beyond a few hundred passes consecutive drains overlap with issue,
+        # so the term saturates (calibrated against Figure 7a's 32-bit bars).
+        if bits is not None and counters.mma_ops:
+            passes = min(bits[0] * bits[1], 512)
+            launch += passes * dev.tc_pass_overhead_s * counters.launches
+        return TimeBreakdown(
+            launch_s=launch, compute_s=compute, stream_s=stream, reload_s=reload
+        )
+
+    # ------------------------------------------------------------------ #
+    # Analytic entry points (no data needed)
+    # ------------------------------------------------------------------ #
+    def gemm_counters(
+        self,
+        m: int,
+        k: int,
+        n: int,
+        bits_a: int,
+        bits_b: int,
+        *,
+        nonzero_tile_fraction: float = 1.0,
+        config: KernelConfig | None = None,
+    ) -> KernelCounters:
+        """Counters for an ``m x k x n`` GEMM with a synthetic tile density.
+
+        Used by the throughput studies (Figures 7c/9, Table 3) where the
+        operand is a dense benchmark matrix rather than a real subgraph.
+        """
+        if not 0.0 <= nonzero_tile_fraction <= 1.0:
+            raise ShapeError(
+                f"nonzero_tile_fraction must be in [0, 1], got {nonzero_tile_fraction}"
+            )
+        config = config or KernelConfig()
+        mt = max((m + 7) // 8, 1)
+        kt = max((k + 127) // 128, 1)
+        nt = max((n + 7) // 8, 1)
+        jumping = config.zero_tile_jumping and bits_a == 1
+        total_mk = mt * kt
+        if jumping:
+            processed = [round(total_mk * nonzero_tile_fraction)] * bits_a
+        else:
+            processed = [total_mk] * bits_a
+        return derive_tile_counters(
+            mt=mt,
+            kt=kt,
+            nt=nt,
+            bits_a=bits_a,
+            bits_b=bits_b,
+            processed_per_plane=processed,
+            jumping=jumping,
+            config=config,
+        )
+
+    def gemm_time(
+        self,
+        m: int,
+        k: int,
+        n: int,
+        bits_a: int,
+        bits_b: int,
+        *,
+        nonzero_tile_fraction: float = 1.0,
+        config: KernelConfig | None = None,
+    ) -> TimeBreakdown:
+        """Modeled time of an analytic GEMM (see :meth:`gemm_counters`)."""
+        counters = self.gemm_counters(
+            m,
+            k,
+            n,
+            bits_a,
+            bits_b,
+            nonzero_tile_fraction=nonzero_tile_fraction,
+            config=config,
+        )
+        return self.kernel_time(counters)
+
+    def gemm_tflops(
+        self,
+        m: int,
+        k: int,
+        n: int,
+        bits_a: int,
+        bits_b: int,
+        *,
+        nonzero_tile_fraction: float = 1.0,
+        config: KernelConfig | None = None,
+    ) -> float:
+        """Achieved useful TFLOP/s — the unit Figures 7c/9 and Table 3 plot."""
+        t = self.gemm_time(
+            m,
+            k,
+            n,
+            bits_a,
+            bits_b,
+            nonzero_tile_fraction=nonzero_tile_fraction,
+            config=config,
+        )
+        return tflops(useful_flops(m, k, n), t.total_s)

@@ -1,0 +1,82 @@
+"""WMMA register fragments for the 1-bit Tensor Core tile (paper §2.3).
+
+A 1-bit WMMA operation on Turing/Ampere works on fixed tiles:
+``A`` is ``8 x 128`` bits, ``B`` is ``128 x 8`` bits, and the accumulator
+``C``/``D`` is ``8 x 8`` in uint32.  Before an ``mma`` the participating
+warp must stage each operand tile in a *fragment* — a register region shared
+across the warp's 32 threads.
+
+We model a fragment as a small NumPy array plus its role:
+
+* ``matrix_a`` — ``(8, 4)`` uint32: 8 rows x 4 words of 32 bits = 8 x 128.
+* ``matrix_b`` — ``(8, 4)`` uint32: 8 *columns*, each packed along K
+  (the row-wise compression of §4.2 delivers exactly this layout).
+* ``accumulator`` — ``(8, 8)`` int64 (uint32 in hardware; we use int64 so
+  the shift-add of high bit positions can never overflow in emulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = [
+    "FRAG_A_SHAPE",
+    "FRAG_B_SHAPE",
+    "FRAG_C_SHAPE",
+    "Fragment",
+    "make_fragment",
+]
+
+FRAG_A_SHAPE = (8, 4)
+FRAG_B_SHAPE = (8, 4)
+FRAG_C_SHAPE = (8, 8)
+
+_ROLES = {
+    "matrix_a": (FRAG_A_SHAPE, np.uint32),
+    "matrix_b": (FRAG_B_SHAPE, np.uint32),
+    "accumulator": (FRAG_C_SHAPE, np.int64),
+}
+
+
+@dataclass
+class Fragment:
+    """One warp-level WMMA fragment (see module docstring for layouts)."""
+
+    role: str
+    data: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.role not in _ROLES:
+            raise ShapeError(
+                f"unknown fragment role {self.role!r}; expected one of {sorted(_ROLES)}"
+            )
+        shape, dtype = _ROLES[self.role]
+        if self.data.shape != shape:
+            raise ShapeError(
+                f"{self.role} fragment must have shape {shape}, got {self.data.shape}"
+            )
+        if self.data.dtype != dtype:
+            raise ShapeError(
+                f"{self.role} fragment must have dtype {dtype}, got {self.data.dtype}"
+            )
+
+    def fill(self, value: int) -> None:
+        """``wmma::fill_fragment`` — set every element (usually zeroing C)."""
+        self.data[...] = value
+
+    def copy(self) -> "Fragment":
+        return Fragment(role=self.role, data=self.data.copy())
+
+
+def make_fragment(role: str) -> Fragment:
+    """Allocate a zeroed fragment for the given role."""
+    if role not in _ROLES:
+        raise ShapeError(
+            f"unknown fragment role {role!r}; expected one of {sorted(_ROLES)}"
+        )
+    shape, dtype = _ROLES[role]
+    return Fragment(role=role, data=np.zeros(shape, dtype=dtype))

@@ -1,0 +1,63 @@
+"""Tests for the cuBLAS-int8 and CUTLASS-int4 GEMM models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.cublas_like import cublas_int8_gemm_tflops, cublas_int8_gemm_time
+from repro.baselines.cutlass_like import (
+    cutlass_int4_gemm_tflops,
+    cutlass_int4_gemm_time,
+)
+from repro.errors import ShapeError
+from repro.experiments.paperdata import PAPER_TABLE3_TFLOPS
+from repro.tc.costmodel import TCCostModel
+from repro.tc.hardware import RTX3090
+
+
+class TestCublasInt8:
+    def test_time_positive_and_monotone(self):
+        small = cublas_int8_gemm_time(1024, 1024, 16).total_s
+        large = cublas_int8_gemm_time(4096, 4096, 64).total_s
+        assert 0 < small < large
+
+    def test_launch_floor(self):
+        t = cublas_int8_gemm_time(8, 8, 8)
+        assert t.total_s >= RTX3090.library_launch_s
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            cublas_int8_gemm_time(0, 8, 8)
+
+    def test_qgtc_low_bit_beats_int8(self):
+        # Figure 7c's claim: QGTC wins at low bitwidths on GNN shapes.
+        cost = TCCostModel(RTX3090)
+        for n, d in ((2048, 32), (4096, 64)):
+            int8 = cublas_int8_gemm_tflops(n, n, d)
+            for bits in (2, 3, 4):
+                assert cost.gemm_tflops(n, n, d, 1, bits) > int8, (n, d, bits)
+
+
+class TestCutlassInt4:
+    def test_calibration_against_table3(self):
+        # Within 35 % of every paper CUTLASS entry.
+        for (n, d), row in PAPER_TABLE3_TFLOPS.items():
+            got = cutlass_int4_gemm_tflops(n, n, d)
+            assert abs(got - row["cutlass4"]) / row["cutlass4"] < 0.35, (n, d, got)
+
+    def test_qgtc_beats_cutlass_at_every_bitwidth(self):
+        # Table 3's claim: 1-bit adjacency means QGTC 1-4 bit all beat the
+        # forced 4-bit x 4-bit CUTLASS path.
+        cost = TCCostModel(RTX3090)
+        for (n, d) in PAPER_TABLE3_TFLOPS:
+            int4 = cutlass_int4_gemm_tflops(n, n, d)
+            for bits in (1, 2, 3, 4):
+                assert cost.gemm_tflops(n, n, d, 1, bits) > int4 * 0.95, (n, d, bits)
+
+    def test_setup_cost_floor(self):
+        t = cutlass_int4_gemm_time(8, 8, 8)
+        assert t.launch_s == pytest.approx(15.5e-6)
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            cutlass_int4_gemm_time(8, -1, 8)

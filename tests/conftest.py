@@ -1,0 +1,20 @@
+"""Shared fixtures for the QGTC reproduction test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; every test that draws randomness uses this seed."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def small_codes(rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """A pair of small quantized matrices (3-bit x 2-bit) for GEMM tests."""
+    a = rng.integers(0, 8, size=(40, 150), dtype=np.int64)
+    b = rng.integers(0, 4, size=(150, 24), dtype=np.int64)
+    return a, b

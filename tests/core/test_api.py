@@ -1,0 +1,102 @@
+"""Tests for the public bitMM2Int / bitMM2Bit API (paper §5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.api import bitMM2Bit, bitMM2Int, bit_mm_to_bit, bit_mm_to_int
+from repro.core.bittensor import to_bit
+from repro.errors import BitwidthError, ShapeError
+
+
+@pytest.fixture
+def operands(rng):
+    a = rng.integers(0, 8, (32, 140))
+    b = rng.integers(0, 4, (140, 24))
+    return (
+        a,
+        b,
+        to_bit(a, 3, layout="col"),
+        to_bit(b, 2, layout="row"),
+    )
+
+
+class TestBitMM2Int:
+    def test_exact_product(self, operands):
+        a, b, ta, tb = operands
+        np.testing.assert_array_equal(bitMM2Int(ta, tb), a @ b)
+
+    def test_alias_identity(self):
+        assert bitMM2Int is bit_mm_to_int
+        assert bitMM2Bit is bit_mm_to_bit
+
+    def test_wrong_left_layout(self, operands):
+        a, b, _, tb = operands
+        with pytest.raises(ShapeError):
+            bitMM2Int(to_bit(a, 3, layout="row"), tb)
+
+    def test_wrong_right_layout(self, operands):
+        a, b, ta, _ = operands
+        with pytest.raises(ShapeError):
+            bitMM2Int(ta, to_bit(b, 2, layout="col"))
+
+    def test_inner_dim_mismatch(self, rng):
+        ta = to_bit(rng.integers(0, 2, (8, 100)), 1, layout="col")
+        tb = to_bit(rng.integers(0, 2, (101, 8)), 1, layout="row")
+        with pytest.raises(ShapeError):
+            bitMM2Int(ta, tb)
+
+    def test_non_bittensor_rejected(self, operands):
+        _, _, ta, _ = operands
+        with pytest.raises(ShapeError):
+            bitMM2Int(ta, np.zeros((140, 4)))
+
+
+class TestBitMM2Bit:
+    def test_output_is_bit_tensor(self, operands):
+        _, _, ta, tb = operands
+        out = bitMM2Bit(ta, tb, 4)
+        assert out.bits == 4
+        assert out.shape == (32, 24)
+        assert out.layout == "col"
+        # Hidden-layer convention: PAD128 so the result can be the next A.
+        assert out.packed.pad_vectors == 128
+
+    def test_requantization_bounds(self, operands):
+        _, _, ta, tb = operands
+        out = bitMM2Bit(ta, tb, 3)
+        codes = out.to_val()
+        assert codes.min() >= 0
+        assert codes.max() <= 7
+
+    def test_small_products_kept_exact(self, rng):
+        # When the int result already fits bit_C bits, no information is lost.
+        a = rng.integers(0, 2, (8, 128))
+        b = np.zeros((128, 8), np.int64)
+        b[0, :] = 1
+        ta = to_bit(a, 1, layout="col")
+        tb = to_bit(b, 1, layout="row")
+        out = bitMM2Bit(ta, tb, 4)
+        np.testing.assert_array_equal(out.to_val(), a @ b)
+
+    def test_bad_bit_c(self, operands):
+        _, _, ta, tb = operands
+        with pytest.raises(BitwidthError):
+            bitMM2Bit(ta, tb, 0)
+        with pytest.raises(BitwidthError):
+            bitMM2Bit(ta, tb, 33)
+
+    def test_chained_layers(self, rng):
+        # Simulate two hidden layers: output of one GEMM feeds the next.
+        adj = rng.integers(0, 2, (64, 64))
+        x = rng.integers(0, 4, (64, 16))
+        ta = to_bit(adj, 1, layout="col")
+        tx = to_bit(x, 2, layout="row")
+        h1 = bitMM2Bit(ta, tx, 2)
+        # h1 is col-packed (a new left operand); chain against a weight.
+        w = rng.integers(0, 4, (16, 16))
+        tw = to_bit(w, 2, layout="row")
+        h2 = bitMM2Bit(h1, tw, 2)
+        assert h2.shape == (64, 16)
+        assert h2.to_val().max() <= 3

@@ -1,0 +1,96 @@
+"""Tests for bit-plane decomposition / recomposition (paper §3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.bitdecomp import bit_compose, bit_decompose, required_bits
+from repro.errors import BitwidthError, ShapeError
+
+
+class TestBitDecompose:
+    def test_known_values(self):
+        planes = bit_decompose(np.array([0, 1, 2, 5, 7]), 3)
+        # LSB-first: plane 0 is the 2^0 bit.
+        assert planes.shape == (3, 5)
+        np.testing.assert_array_equal(planes[0], [0, 1, 0, 1, 1])
+        np.testing.assert_array_equal(planes[1], [0, 0, 1, 0, 1])
+        np.testing.assert_array_equal(planes[2], [0, 0, 0, 1, 1])
+
+    def test_2d_shape(self, rng):
+        codes = rng.integers(0, 16, size=(7, 9))
+        planes = bit_decompose(codes, 4)
+        assert planes.shape == (4, 7, 9)
+        assert planes.dtype == np.uint8
+
+    def test_rejects_negative(self):
+        with pytest.raises(BitwidthError):
+            bit_decompose(np.array([-1]), 4)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(BitwidthError):
+            bit_decompose(np.array([16]), 4)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(BitwidthError):
+            bit_decompose(np.array([0]), 0)
+        with pytest.raises(BitwidthError):
+            bit_decompose(np.array([0]), 33)
+
+    def test_accepts_integral_floats(self):
+        planes = bit_decompose(np.array([2.0, 3.0]), 2)
+        np.testing.assert_array_equal(bit_compose(planes), [2, 3])
+
+    def test_rejects_fractional_floats(self):
+        with pytest.raises(BitwidthError):
+            bit_decompose(np.array([1.5]), 4)
+
+    def test_32_bit_values(self):
+        top = np.array([2**32 - 1, 0, 2**31], dtype=np.int64)
+        planes = bit_decompose(top, 32)
+        np.testing.assert_array_equal(bit_compose(planes), top)
+
+
+class TestBitCompose:
+    def test_rejects_nonbinary(self):
+        with pytest.raises(BitwidthError):
+            bit_compose(np.array([[2]]))
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ShapeError):
+            bit_compose(np.array(1))
+
+    def test_single_plane(self):
+        np.testing.assert_array_equal(bit_compose(np.array([[1, 0, 1]])), [1, 0, 1])
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.int64,
+            shape=hnp.array_shapes(min_dims=1, max_dims=3, max_side=8),
+            elements=st.integers(min_value=0, max_value=2**12 - 1),
+        )
+    )
+    def test_roundtrip_property(self, codes):
+        planes = bit_decompose(codes, 12)
+        np.testing.assert_array_equal(bit_compose(planes), codes)
+
+
+class TestRequiredBits:
+    @pytest.mark.parametrize(
+        "values,expected",
+        [([0], 1), ([1], 1), ([2], 2), ([3], 2), ([4], 3), ([255], 8), ([256], 9)],
+    )
+    def test_cases(self, values, expected):
+        assert required_bits(np.array(values)) == expected
+
+    def test_empty(self):
+        assert required_bits(np.array([], dtype=np.int64)) == 1
+
+    def test_negative_raises(self):
+        with pytest.raises(BitwidthError):
+            required_bits(np.array([-3]))

@@ -1,0 +1,99 @@
+"""Tests for word-level popcount / AND-popcount primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitops import (
+    WORD_BITS,
+    and_popcount,
+    ballot_any,
+    popcount,
+    popcount_table,
+    xor_popcount,
+)
+from repro.errors import ShapeError
+
+
+class TestPopcount:
+    def test_known_values(self):
+        words = np.array([0, 1, 0b1011, 0xFFFFFFFF], dtype=np.uint32)
+        np.testing.assert_array_equal(popcount(words), [0, 1, 3, 32])
+
+    def test_matches_table_fallback(self, rng):
+        words = rng.integers(0, 2**32, size=1000, dtype=np.uint32)
+        np.testing.assert_array_equal(popcount(words), popcount_table(words))
+
+    def test_signed_input_reinterpreted(self):
+        # int32 -1 has the same bit pattern as uint32 0xFFFFFFFF.
+        assert popcount(np.array([-1], dtype=np.int32))[0] == 32
+
+    def test_rejects_floats(self):
+        with pytest.raises(ShapeError):
+            popcount(np.array([1.5]))
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_agrees_with_python(self, value):
+        assert int(popcount(np.array([value], dtype=np.uint32))[0]) == bin(value).count("1")
+
+
+class TestAndPopcount:
+    def test_is_binary_dot_product(self, rng):
+        # popcount(a & b) over packed words == dot product of the bit vectors.
+        k = 4 * WORD_BITS
+        bits_a = rng.integers(0, 2, size=k).astype(np.uint8)
+        bits_b = rng.integers(0, 2, size=k).astype(np.uint8)
+        wa = np.packbits(bits_a, bitorder="little").view(np.uint32)
+        wb = np.packbits(bits_b, bitorder="little").view(np.uint32)
+        assert and_popcount(wa, wb) == int(bits_a @ bits_b)
+
+    def test_broadcasting(self, rng):
+        a = rng.integers(0, 2**32, size=(5, 1, 3), dtype=np.uint32)
+        b = rng.integers(0, 2**32, size=(1, 7, 3), dtype=np.uint32)
+        out = and_popcount(a, b)
+        assert out.shape == (5, 7)
+        assert out.dtype == np.int64
+
+    def test_mismatched_k_axis(self):
+        with pytest.raises(ShapeError):
+            and_popcount(np.zeros((2, 3), np.uint32), np.zeros((2, 4), np.uint32))
+
+    def test_zero_operand(self):
+        a = np.full((4,), 0xFFFFFFFF, dtype=np.uint32)
+        assert and_popcount(a, np.zeros(4, np.uint32)) == 0
+
+
+class TestXorPopcount:
+    def test_hamming_distance(self):
+        a = np.array([0b1100], dtype=np.uint32)
+        b = np.array([0b1010], dtype=np.uint32)
+        assert xor_popcount(a, b) == 2
+
+    def test_self_distance_zero(self, rng):
+        a = rng.integers(0, 2**32, size=8, dtype=np.uint32)
+        assert xor_popcount(a, a) == 0
+
+    def test_mismatched_axis(self):
+        with pytest.raises(ShapeError):
+            xor_popcount(np.zeros(3, np.uint32), np.zeros(4, np.uint32))
+
+
+class TestBallotAny:
+    def test_all_zero_tile(self):
+        assert not ballot_any(np.zeros((8, 4), np.uint32))
+
+    def test_single_bit_detected(self):
+        tile = np.zeros((8, 4), np.uint32)
+        tile[7, 3] = 1
+        assert ballot_any(tile)
+
+    def test_per_tile_axis(self):
+        tiles = np.zeros((3, 8, 4), np.uint32)
+        tiles[1, 0, 0] = 42
+        np.testing.assert_array_equal(
+            ballot_any(tiles, axis=(1, 2)), [False, True, False]
+        )

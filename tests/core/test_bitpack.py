@@ -1,0 +1,182 @@
+"""Tests for 3D-stacked bit compression (paper §4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitdecomp import bit_decompose
+from repro.core.bitpack import (
+    TC_K,
+    TC_M,
+    PackedBits,
+    pack_bit_planes,
+    pack_matrix,
+    pad_to,
+    unpack_bit_planes,
+    unpack_matrix,
+)
+from repro.errors import PackingError, ShapeError
+
+
+class TestPadTo:
+    @pytest.mark.parametrize(
+        "n,mult,expected",
+        [(0, 8, 0), (1, 8, 8), (8, 8, 8), (9, 8, 16), (127, 128, 128), (129, 128, 256)],
+    )
+    def test_cases(self, n, mult, expected):
+        assert pad_to(n, mult) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ShapeError):
+            pad_to(-1, 8)
+        with pytest.raises(ShapeError):
+            pad_to(4, 0)
+
+
+class TestPackShapes:
+    def test_col_layout_paper_shape(self, rng):
+        # Paper: Ac has shape bits x PAD8(M) x PAD128(K)/32.
+        codes = rng.integers(0, 8, size=(13, 200))
+        packed = pack_matrix(codes, 3, layout="col", pad_vectors=8)
+        assert packed.words.shape == (3, pad_to(13, 8), pad_to(200, 128) // 32)
+        assert packed.words.dtype == np.uint32
+        assert packed.logical_shape == (13, 200)
+
+    def test_row_layout_paper_shape(self, rng):
+        # Paper: Bc has shape bits x PAD128(K)/32 x PAD8(N); our storage is
+        # the transpose, paper_order() restores the published order.
+        codes = rng.integers(0, 4, size=(200, 13))
+        packed = pack_matrix(codes, 2, layout="row", pad_vectors=8)
+        assert packed.words.shape == (2, pad_to(13, 8), pad_to(200, 128) // 32)
+        assert packed.paper_order().shape == (2, pad_to(200, 128) // 32, pad_to(13, 8))
+        assert packed.logical_shape == (200, 13)
+
+    def test_hidden_layer_pad128(self, rng):
+        codes = rng.integers(0, 4, size=(200, 13))
+        packed = pack_matrix(codes, 2, layout="row", pad_vectors=128)
+        assert packed.padded_vectors == 128
+
+    def test_k_always_padded_to_128(self, rng):
+        packed = pack_matrix(rng.integers(0, 2, size=(8, 1)), 1)
+        assert packed.padded_k == TC_K
+        assert packed.k_words == TC_K // 32
+
+    def test_memory_footprint_scales_with_bits(self, rng):
+        vals = rng.integers(0, 2, size=(64, 256))
+        one = pack_matrix(vals, 1)
+        four = pack_matrix(vals, 4)
+        assert four.nbytes == 4 * one.nbytes
+
+    def test_1bit_adjacency_is_64x_smaller_than_fp32(self, rng):
+        # The memory argument of paper §1: 1 bit vs 32-bit float, plus x2
+        # from no index storage; here just the direct 32x word saving.
+        n = 1024
+        adj = rng.integers(0, 2, size=(n, n))
+        packed = pack_matrix(adj, 1)
+        dense_fp32 = n * n * 4
+        assert packed.nbytes * 32 == dense_fp32
+
+    def test_little_endian_word_layout(self):
+        # Element 32*w + j must land in bit j of word w (paper Figure 4).
+        planes = np.zeros((1, 8, 128), dtype=np.uint8)
+        planes[0, 0, 0] = 1     # word 0, bit 0
+        planes[0, 0, 33] = 1    # word 1, bit 1
+        planes[0, 0, 127] = 1   # word 3, bit 31
+        packed = pack_bit_planes(planes, "col")
+        row = packed.words[0, 0]
+        assert row[0] == 1
+        assert row[1] == 2
+        assert row[3] == 1 << 31
+
+
+class TestValidation:
+    def test_nonbinary_planes_rejected(self):
+        with pytest.raises(PackingError):
+            pack_bit_planes(np.full((1, 8, 128), 2, np.uint8), "col")
+
+    def test_bad_layout(self):
+        with pytest.raises(PackingError):
+            pack_bit_planes(np.zeros((1, 8, 128), np.uint8), "diag")
+
+    def test_bad_pad_vectors(self):
+        with pytest.raises(PackingError):
+            pack_bit_planes(np.zeros((1, 8, 128), np.uint8), "col", pad_vectors=16)
+
+    def test_non_2d_matrix(self):
+        with pytest.raises(ShapeError):
+            pack_matrix(np.zeros((2, 2, 2), np.int64), 1)
+
+    def test_packedbits_metadata_checked(self, rng):
+        good = pack_matrix(rng.integers(0, 2, (8, 128)), 1)
+        with pytest.raises(PackingError):
+            PackedBits(
+                words=good.words,
+                bits=2,  # wrong plane count
+                layout="col",
+                logical_vectors=8,
+                logical_k=128,
+                pad_vectors=8,
+            )
+        with pytest.raises(PackingError):
+            PackedBits(
+                words=good.words.astype(np.uint64),
+                bits=1,
+                layout="col",
+                logical_vectors=8,
+                logical_k=128,
+                pad_vectors=8,
+            )
+
+    def test_plane_index_bounds(self, rng):
+        packed = pack_matrix(rng.integers(0, 4, (8, 128)), 2)
+        packed.plane(1)
+        with pytest.raises(PackingError):
+            packed.plane(2)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("layout", ["col", "row"])
+    @pytest.mark.parametrize("bits", [1, 2, 3, 5, 8])
+    def test_codes_roundtrip(self, rng, layout, bits):
+        codes = rng.integers(0, 1 << bits, size=(37, 211))
+        packed = pack_matrix(codes, bits, layout=layout)
+        np.testing.assert_array_equal(unpack_matrix(packed), codes)
+
+    @pytest.mark.parametrize("layout", ["col", "row"])
+    def test_planes_roundtrip(self, rng, layout):
+        codes = rng.integers(0, 8, size=(20, 140))
+        planes = bit_decompose(codes, 3)
+        packed = pack_bit_planes(planes, layout)
+        np.testing.assert_array_equal(unpack_bit_planes(packed), planes)
+
+    def test_roundtrip_with_pad128(self, rng):
+        codes = rng.integers(0, 16, size=(5, 7))
+        packed = pack_matrix(codes, 4, layout="row", pad_vectors=128)
+        np.testing.assert_array_equal(unpack_matrix(packed), codes)
+
+    def test_padding_is_zero(self, rng):
+        codes = rng.integers(1, 2, size=(3, 40))  # all ones
+        packed = pack_matrix(codes, 1, layout="col")
+        planes = np.unpackbits(
+            np.ascontiguousarray(packed.words).view(np.uint8), bitorder="little"
+        ).reshape(1, packed.padded_vectors, packed.padded_k)
+        # Rows 3.. and columns 40.. must be zero padding.
+        assert planes[:, 3:, :].sum() == 0
+        assert planes[:, :, 40:].sum() == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        m=st.integers(min_value=1, max_value=40),
+        k=st.integers(min_value=1, max_value=300),
+        bits=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_roundtrip_property(self, m, k, bits, seed):
+        codes = np.random.default_rng(seed).integers(0, 1 << bits, size=(m, k))
+        for layout in ("col", "row"):
+            shaped = codes if layout == "col" else codes.T
+            packed = pack_matrix(shaped, bits, layout=layout)
+            np.testing.assert_array_equal(unpack_matrix(packed), shaped)

@@ -1,0 +1,109 @@
+"""Tests for the BitTensor data type (paper §5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bittensor import BitTensor, requantize_codes, to_bit
+from repro.core.quantization import quantize
+from repro.errors import BitwidthError, ShapeError
+
+
+class TestToBit:
+    def test_int_input_roundtrip(self, rng):
+        codes = rng.integers(0, 8, (20, 150))
+        bt = to_bit(codes, 3)
+        assert bt.bits == 3
+        assert bt.shape == (20, 150)
+        np.testing.assert_array_equal(bt.to_val(), codes)
+
+    def test_float_input_autocalibrates(self, rng):
+        vals = rng.normal(size=(16, 130))
+        bt = to_bit(vals, 4)
+        assert bt.quant is not None
+        codes, _ = quantize(vals, bt.quant)
+        np.testing.assert_array_equal(bt.to_val(), codes)
+        # to_float returns the dequantized reconstruction.
+        assert np.max(np.abs(bt.to_float() - vals)) < bt.quant.scale
+
+    def test_float_without_calibration_rejected(self, rng):
+        with pytest.raises(BitwidthError):
+            to_bit(rng.normal(size=(4, 4)), 4, calibrate_floats=False)
+
+    def test_requires_2d(self):
+        with pytest.raises(ShapeError):
+            to_bit(np.zeros(5), 2)
+
+    def test_int_tensor_has_no_float_view(self, rng):
+        bt = to_bit(rng.integers(0, 2, (8, 128)), 1)
+        with pytest.raises(BitwidthError):
+            bt.to_float()
+
+    def test_storage_words_is_int32_compatible(self, rng):
+        bt = to_bit(rng.integers(0, 4, (8, 128)), 2)
+        # PyTorch holds bit-tensors in int32; uint32 words view-cast losslessly.
+        assert bt.storage_words.dtype == np.uint32
+        assert bt.storage_words.view(np.int32).dtype == np.int32
+
+    def test_nbytes_memory_saving(self, rng):
+        vals = rng.normal(size=(128, 128))
+        two_bit = to_bit(vals, 2)
+        fp32_bytes = vals.size * 4
+        assert two_bit.nbytes < fp32_bytes / 8
+
+
+class TestWithLayout:
+    def test_col_to_row(self, rng):
+        codes = rng.integers(0, 8, (24, 140))
+        bt = to_bit(codes, 3, layout="col")
+        rowed = bt.with_layout("row")
+        assert rowed.layout == "row"
+        np.testing.assert_array_equal(rowed.to_val(), codes)
+
+    def test_same_layout_is_identity(self, rng):
+        bt = to_bit(rng.integers(0, 4, (8, 128)), 2)
+        assert bt.with_layout("col") is bt
+
+    def test_repad_for_hidden_layer(self, rng):
+        bt = to_bit(rng.integers(0, 4, (8, 128)), 2, layout="row", pad_vectors=8)
+        padded = bt.with_layout("row", pad_vectors=128)
+        assert padded.packed.pad_vectors == 128
+        np.testing.assert_array_equal(padded.to_val(), bt.to_val())
+
+
+class TestRequantize:
+    def test_small_values_pass_through(self):
+        vals = np.array([[0, 3, 7]])
+        np.testing.assert_array_equal(requantize_codes(vals, 3), vals)
+
+    def test_large_values_rescaled_into_range(self, rng):
+        vals = rng.integers(0, 10_000, (30, 30))
+        out = requantize_codes(vals, 4)
+        assert out.min() >= 0
+        assert out.max() == 15
+
+    def test_preserves_order(self, rng):
+        vals = np.sort(rng.integers(0, 100_000, 1000))
+        out = requantize_codes(vals, 6)
+        assert np.all(np.diff(out) >= 0)
+
+    def test_zero_tensor(self):
+        np.testing.assert_array_equal(
+            requantize_codes(np.zeros((2, 2), np.int64), 4), np.zeros((2, 2))
+        )
+
+    def test_empty_tensor(self):
+        out = requantize_codes(np.zeros((0, 3), np.int64), 4)
+        assert out.shape == (0, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(BitwidthError):
+            requantize_codes(np.array([-1]), 4)
+
+
+class TestRepr:
+    def test_bittensor_dataclass_fields(self, rng):
+        bt = to_bit(rng.integers(0, 2, (8, 128)), 1)
+        assert isinstance(bt, BitTensor)
+        assert bt.layout == "col"

@@ -1,0 +1,137 @@
+"""Tests for paper Eq. 2 uniform quantization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quantization import (
+    MAX_BITS,
+    QuantConfig,
+    QuantParams,
+    calibrate,
+    dequantize,
+    quantization_error,
+    quantize,
+)
+from repro.errors import BitwidthError, ConfigError
+
+
+class TestQuantParams:
+    def test_levels_and_alpha_max(self):
+        p = QuantParams(bits=3, alpha_min=-1.0, scale=0.25)
+        assert p.levels == 8
+        assert p.alpha_max == pytest.approx(-1.0 + 0.25 * 8)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(BitwidthError):
+            QuantParams(bits=0, alpha_min=0.0, scale=1.0)
+        with pytest.raises(BitwidthError):
+            QuantParams(bits=MAX_BITS + 1, alpha_min=0.0, scale=1.0)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ConfigError):
+            QuantParams(bits=4, alpha_min=0.0, scale=0.0)
+        with pytest.raises(ConfigError):
+            QuantParams(bits=4, alpha_min=0.0, scale=-1.0)
+
+    def test_rejects_nonfinite_alpha_min(self):
+        with pytest.raises(ConfigError):
+            QuantParams(bits=4, alpha_min=float("nan"), scale=1.0)
+
+
+class TestQuantConfig:
+    def test_defaults_valid(self):
+        cfg = QuantConfig()
+        assert cfg.adjacency_bits == 1
+        assert not cfg.is_full_precision
+
+    def test_full_precision_flag(self):
+        assert QuantConfig(feature_bits=32, weight_bits=32).is_full_precision
+
+    def test_adjacency_must_be_one_bit(self):
+        with pytest.raises(ConfigError):
+            QuantConfig(adjacency_bits=2)
+
+    def test_clip_quantile_range(self):
+        with pytest.raises(ConfigError):
+            QuantConfig(clip_quantile=0.5)
+
+
+class TestQuantize:
+    def test_codes_in_range(self, rng):
+        vals = rng.normal(size=(50, 20))
+        for bits in (1, 2, 4, 8):
+            codes, params = quantize(vals, bits=bits)
+            assert codes.min() >= 0
+            assert codes.max() <= (1 << bits) - 1
+            assert params.bits == bits
+
+    def test_needs_params_or_bits(self):
+        with pytest.raises(ConfigError):
+            quantize(np.zeros(3))
+
+    def test_monotone_in_value(self, rng):
+        vals = np.sort(rng.normal(size=1000))
+        codes, _ = quantize(vals, bits=4)
+        assert np.all(np.diff(codes) >= 0)
+
+    def test_constant_tensor(self):
+        codes, params = quantize(np.full((4, 4), 3.14), bits=4)
+        assert np.all(codes == codes.flat[0])
+        assert params.scale > 0
+
+    def test_top_value_maps_to_top_code(self):
+        # Eq. 2 alone would map alpha_max to 2**q; the top bucket must close.
+        vals = np.linspace(0.0, 1.0, 17)
+        codes, _ = quantize(vals, bits=2)
+        assert codes.max() == 3
+
+    def test_explicit_params_reused(self, rng):
+        vals = rng.normal(size=100)
+        _, params = quantize(vals, bits=4)
+        codes2, params2 = quantize(vals * 0.5, params)
+        assert params2 is params
+        assert codes2.max() <= 15
+
+    def test_calibrate_with_explicit_bounds(self):
+        p = calibrate(np.array([5.0]), 4, alpha_min=0.0, alpha_max=16.0)
+        assert p.alpha_min == 0.0
+        assert p.scale == pytest.approx(1.0)
+
+    def test_calibrate_empty_raises(self):
+        with pytest.raises(ConfigError):
+            calibrate(np.array([]), 4)
+
+    def test_clip_quantile_tightens_range(self, rng):
+        vals = np.concatenate([rng.normal(size=1000), [100.0, -100.0]])
+        p_exact = calibrate(vals, 8)
+        p_clip = calibrate(vals, 8, clip_quantile=0.01)
+        assert p_clip.scale < p_exact.scale
+
+
+class TestRoundTrip:
+    def test_error_bounded_by_half_scale(self, rng):
+        vals = rng.uniform(-3, 7, size=500)
+        codes, params = quantize(vals, bits=6)
+        recon = dequantize(codes, params)
+        assert np.max(np.abs(vals - recon)) <= params.scale / 2 + 1e-12
+
+    def test_error_decreases_with_bits(self, rng):
+        vals = rng.normal(size=2000)
+        errs = [quantization_error(vals, b) for b in (2, 4, 8, 12)]
+        assert errs == sorted(errs, reverse=True)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        bits=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_roundtrip_property(self, bits, seed):
+        vals = np.random.default_rng(seed).uniform(-5, 5, size=64)
+        codes, params = quantize(vals, bits=bits)
+        recon = dequantize(codes, params)
+        # Mid-bucket reconstruction: error strictly below one bucket width.
+        assert np.max(np.abs(vals - recon)) < params.scale

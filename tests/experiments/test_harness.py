@@ -1,0 +1,116 @@
+"""Tests for the experiment harness plumbing (small scales, fast).
+
+The full paper-shape assertions live in ``benchmarks/``; these tests check
+the harness mechanics: caching, scaling protocol, table rendering, and
+paper-data transcription.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.common import (
+    DEFAULT_SCALES,
+    PAPER_NUM_PARTS,
+    format_table,
+    prepare_dataset,
+)
+from repro.experiments.fig7 import run_fig7c
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.paperdata import (
+    PAPER_FIG7A_MS,
+    PAPER_FIG8_RATIO,
+    PAPER_TABLE2_ACC,
+    PAPER_TABLE3_TFLOPS,
+)
+from repro.experiments.table3 import format_table3, run_table3
+
+
+class TestPrepareDataset:
+    def test_caching(self):
+        a = prepare_dataset("Proteins", scale=0.02, batch_size=2)
+        b = prepare_dataset("Proteins", scale=0.02, batch_size=2)
+        assert a is b
+
+    def test_partition_count_scales(self):
+        prepared = prepare_dataset("Proteins", scale=0.02, batch_size=1)
+        assert prepared.partition.num_parts == round(PAPER_NUM_PARTS * 0.02)
+        assert len(prepared.profiles) == prepared.partition.num_parts
+
+    def test_projection_factor(self):
+        prepared = prepare_dataset("Proteins", scale=0.02, batch_size=1)
+        assert prepared.projection_factor == pytest.approx(50.0)
+
+    def test_tiny_scale_clamps_to_valid_graph(self):
+        # Extremely small scales clamp to the generator minimum (64 nodes)
+        # with at least 2 partitions rather than failing.
+        prepared = prepare_dataset("Proteins", scale=1e-5)
+        assert prepared.graph.num_nodes >= 64
+        assert prepared.partition.num_parts >= 2
+
+    def test_default_scales_cover_all_datasets(self):
+        assert set(DEFAULT_SCALES) == set(PAPER_FIG7A_MS)
+
+
+class TestPaperData:
+    def test_fig7a_complete(self):
+        for dataset, row in PAPER_FIG7A_MS.items():
+            assert set(row) == {"DGL", "2", "4", "8", "16", "32"}, dataset
+            # Published latencies increase with bits (up to measurement
+            # noise — the paper's own artist row has 86.6 at 2-bit vs 85.7
+            # at 4-bit).
+            series = [row[b] for b in ("2", "4", "8", "16", "32")]
+            for lo, hi in zip(series, series[1:]):
+                assert hi > lo * 0.97, dataset
+
+    def test_table2_trend_in_paper_numbers(self):
+        for dataset, row in PAPER_TABLE2_ACC.items():
+            assert row["2"] < row["8"] <= row["32"] + 1e-9, dataset
+
+    def test_table3_qgtc1_beats_cutlass_everywhere(self):
+        for shape, row in PAPER_TABLE3_TFLOPS.items():
+            assert row["1"] > row["cutlass4"], shape
+
+    def test_fig8_ratios_below_half(self):
+        assert all(0 < v < 0.5 for v in PAPER_FIG8_RATIO.values())
+
+
+class TestAnalyticHarnesses:
+    def test_fig7c_record_shape(self):
+        records = run_fig7c(sizes=(1024,), dims=(16,), bit_range=(2, 3))
+        assert len(records) == 1
+        assert set(records[0]) == {"N", "D", "cuBLAS-int8", "QGTC_2", "QGTC_3"}
+
+    def test_fig9_series_shape(self):
+        series = run_fig9(sizes=(128, 1024), dims=(16, 64))
+        assert set(series) == {16, 64}
+        assert all(len(v) == 2 for v in series.values())
+
+    def test_fig10_custom_sizes(self):
+        out = run_fig10(sizes=(1024, 8192), bits=(4,))
+        assert set(out) == {4}
+        assert set(out[4]) == {1024, 8192}
+
+    def test_table3_rows(self):
+        rows = run_table3(shapes=((2048, 32),))
+        assert len(rows) == 1
+        assert rows[0].qgtc[1] > rows[0].qgtc[4]
+        text = format_table3(rows)
+        assert "CUTLASS" in text and "2048" in text
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["a", "long-header"], [[1, 2], [333, 4]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_handles_numpy_values(self):
+        text = format_table(["x"], [[np.float64(1.5)]])
+        assert "1.5" in text

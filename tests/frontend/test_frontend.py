@@ -1,0 +1,165 @@
+"""Tests for the PyTorch-integration surface (paper §5, §4.6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.frontend import (
+    BitGraphConv,
+    BitLinear,
+    CompoundSubgraphBuffer,
+    Module,
+    Parameter,
+    Tensor,
+)
+from repro.graph.batching import batch_subgraphs, induced_subgraphs
+from repro.graph.generators import planted_partition_graph
+from repro.partition import metis_like_partition
+
+
+class TestTensor:
+    def test_to_bit_roundtrip(self, rng):
+        codes = rng.integers(0, 8, (16, 140))
+        t = Tensor(codes)
+        bt = t.to_bit(3)
+        np.testing.assert_array_equal(Tensor.from_bit(bt).numpy(), codes)
+
+    def test_float_to_bit_quantizes(self, rng):
+        t = Tensor(rng.normal(size=(8, 130)))
+        bt = t.to_bit(4)
+        assert bt.bits == 4
+        assert bt.quant is not None
+
+    def test_requires_2d(self):
+        with pytest.raises(ShapeError):
+            Tensor(np.zeros(5)).to_bit(2)
+
+    def test_introspection(self, rng):
+        t = Tensor(rng.normal(size=(3, 4)))
+        assert t.shape == (3, 4)
+        assert t.numel() == 12
+
+
+class TestModule:
+    def test_buffer_registration_and_traversal(self):
+        class Child(Module):
+            def __init__(self):
+                super().__init__()
+                self.register_buffer("b", np.ones(3))
+
+        class Parent(Module):
+            def __init__(self):
+                super().__init__()
+                self.child = Child()
+                self.w = Parameter(np.zeros((2, 2)))
+                self.register_buffer("top", np.ones(5))
+
+        p = Parent()
+        names = dict(p.named_buffers())
+        assert set(names) == {"top", "child.b"}
+        assert dict(p.named_parameters()).keys() == {"w"}
+        assert p.buffer_nbytes() == 8 * (3 + 5)
+        assert set(p.state_dict()) == {"w", "top", "child.b"}
+
+    def test_attribute_access(self):
+        class M(Module):
+            def __init__(self):
+                super().__init__()
+                self.register_buffer("buf", np.arange(4))
+
+        m = M()
+        np.testing.assert_array_equal(m.buf, np.arange(4))
+        with pytest.raises(AttributeError):
+            _ = m.missing
+
+    def test_invalid_buffer_name(self):
+        m = Module()
+        with pytest.raises(ConfigError):
+            m.register_buffer("not a name", np.zeros(1))
+
+    def test_forward_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestBitLinear:
+    def test_approximates_float_matmul(self, rng):
+        w = rng.normal(size=(32, 8))
+        x = rng.normal(size=(20, 32))
+        layer = BitLinear(w, weight_bits=8, input_bits=8)
+        out = layer(x)
+        rel = np.abs(out - x @ w).mean() / np.abs(x @ w).mean()
+        assert rel < 0.05
+
+    def test_error_grows_at_low_bits(self, rng):
+        w = rng.normal(size=(32, 8))
+        x = rng.normal(size=(20, 32))
+        exact = x @ w
+        err2 = np.abs(BitLinear(w, weight_bits=2, input_bits=2)(x) - exact).mean()
+        err8 = np.abs(BitLinear(w, weight_bits=8, input_bits=8)(x) - exact).mean()
+        assert err8 < err2
+
+    def test_shape_checks(self, rng):
+        layer = BitLinear(rng.normal(size=(4, 2)))
+        with pytest.raises(ShapeError):
+            layer(rng.normal(size=(3, 5)))
+        with pytest.raises(ShapeError):
+            BitLinear(rng.normal(size=(4,)))
+
+
+class TestBitGraphConv:
+    def test_matches_reference_layer(self, rng):
+        n, d, h = 40, 12, 6
+        adj = (rng.random((n, n)) < 0.15).astype(np.int64)
+        adj = np.maximum(adj, adj.T)
+        np.fill_diagonal(adj, 1)
+        x = rng.normal(size=(n, d))
+        w = rng.normal(size=(d, h))
+        layer = BitGraphConv(w, weight_bits=8, input_bits=8)
+        out = layer(adj, x)
+        ref = np.maximum((adj @ x) @ w, 0.0)
+        rel = np.abs(out - ref).mean() / (np.abs(ref).mean() + 1e-12)
+        assert rel < 0.08
+
+    def test_shape_checks(self, rng):
+        layer = BitGraphConv(rng.normal(size=(4, 2)))
+        with pytest.raises(ShapeError):
+            layer(np.ones((3, 4), np.int64), rng.normal(size=(3, 4)))
+        with pytest.raises(ShapeError):
+            layer(np.ones((4, 4), np.int64), rng.normal(size=(3, 4)))
+
+
+class TestCompoundBuffer:
+    @pytest.fixture
+    def batch(self):
+        g = planted_partition_graph(
+            200,
+            1200,
+            num_communities=4,
+            feature_dim=8,
+            num_classes=2,
+            rng=np.random.default_rng(41),
+        )
+        subs = induced_subgraphs(g, metis_like_partition(g, 4))
+        return next(batch_subgraphs(subs, 2))
+
+    def test_payload_is_both_operands(self, batch):
+        buf = CompoundSubgraphBuffer(batch, feature_bits=2)
+        payload = buf()
+        assert set(payload) == {"adjacency", "features"}
+        assert buf.payload_bytes == (
+            payload["adjacency"].nbytes + payload["features"].nbytes
+        )
+
+    def test_payload_smaller_than_fp32(self, batch):
+        buf = CompoundSubgraphBuffer(batch, feature_bits=2)
+        n = batch.num_nodes
+        fp32 = n * n * 4 + n * 8 * 4
+        assert buf.payload_bytes * 8 < fp32
+
+    def test_payload_scales_with_bits(self, batch):
+        b2 = CompoundSubgraphBuffer(batch, feature_bits=2).payload_bytes
+        b8 = CompoundSubgraphBuffer(batch, feature_bits=8).payload_bytes
+        assert b8 > b2

@@ -1,0 +1,126 @@
+"""Tests for NN primitives and GNN model definitions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.gnn.activations import (
+    BatchNormParams,
+    accuracy,
+    batch_norm,
+    cross_entropy,
+    cross_entropy_grad,
+    log_softmax,
+    relu,
+    relu_grad,
+    softmax,
+)
+from repro.gnn.models import GNNModel, make_batched_gin, make_cluster_gcn
+
+
+class TestActivations:
+    def test_relu(self):
+        np.testing.assert_array_equal(relu(np.array([-1.0, 0.0, 2.0])), [0, 0, 2])
+
+    def test_relu_grad(self):
+        np.testing.assert_array_equal(
+            relu_grad(np.array([-1.0, 0.5])), [0.0, 1.0]
+        )
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(10, 5)) * 50)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-6)
+        assert np.isfinite(probs).all()
+
+    def test_log_softmax_consistent(self, rng):
+        logits = rng.normal(size=(6, 4))
+        np.testing.assert_allclose(
+            np.exp(log_softmax(logits)), softmax(logits), rtol=1e-10
+        )
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        labels = np.array([0, 1])
+        assert cross_entropy(logits, labels) < 1e-6
+
+    def test_cross_entropy_gradient_numerically(self, rng):
+        logits = rng.normal(size=(4, 3))
+        labels = np.array([0, 2, 1, 1])
+        grad = cross_entropy_grad(logits, labels)
+        eps = 1e-6
+        for i in (0, 2):
+            for j in range(3):
+                bumped = logits.copy()
+                bumped[i, j] += eps
+                numeric = (cross_entropy(bumped, labels) - cross_entropy(logits, labels)) / eps
+                assert abs(numeric - grad[i, j]) < 1e-4
+
+    def test_cross_entropy_shape_check(self):
+        with pytest.raises(ShapeError):
+            cross_entropy(np.zeros((3, 2)), np.zeros(2, np.int64))
+
+    def test_batch_norm_normalizes(self, rng):
+        x = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        params = BatchNormParams(
+            mean=x.mean(axis=0),
+            var=x.var(axis=0),
+            gamma=np.ones(4),
+            beta=np.zeros(4),
+        )
+        out = batch_norm(x, params)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-3)
+
+    def test_accuracy(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+        assert accuracy(np.zeros((0, 2)), np.zeros(0, np.int64)) == 0.0
+
+
+class TestModels:
+    def test_cluster_gcn_paper_setting(self):
+        # 3 layers x 16 hidden (paper §6 benchmark config).
+        model = make_cluster_gcn(29, 2)
+        assert model.num_layers == 3
+        assert model.kind == "gcn"
+        assert model.aggregate_first
+        dims = [(s.in_dim, s.out_dim) for s in model.layer_specs()]
+        assert dims == [(29, 16), (16, 16), (16, 2)]
+        assert model.layer_specs()[-1].is_output
+
+    def test_batched_gin_paper_setting(self):
+        # 3 layers x 64 hidden, update-first.
+        model = make_batched_gin(100, 12)
+        assert not model.aggregate_first
+        dims = [(s.in_dim, s.out_dim) for s in model.layer_specs()]
+        assert dims == [(100, 64), (64, 64), (64, 12)]
+
+    def test_weights_initialized_bounded(self):
+        model = make_cluster_gcn(32, 4, seed=1)
+        for w in model.weights:
+            limit = np.sqrt(6.0 / (w.shape[0] + w.shape[1]))
+            assert np.abs(w).max() <= limit
+
+    def test_seed_determinism(self):
+        m1 = make_cluster_gcn(8, 2, seed=5)
+        m2 = make_cluster_gcn(8, 2, seed=5)
+        for w1, w2 in zip(m1.weights, m2.weights):
+            np.testing.assert_array_equal(w1, w2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            make_cluster_gcn(0, 2)
+        with pytest.raises(ConfigError):
+            make_cluster_gcn(8, 2, num_layers=0)
+        with pytest.raises(ConfigError):
+            GNNModel(kind="gcn", weights=[np.zeros((4, 3))], biases=[np.zeros(2)])
+        with pytest.raises(ConfigError):
+            GNNModel(
+                kind="gcn",
+                weights=[np.zeros((4, 3)), np.zeros((5, 2))],  # dim mismatch
+                biases=[np.zeros(3), np.zeros(2)],
+            )
+        with pytest.raises(ConfigError):
+            GNNModel(kind="transformer", weights=[np.zeros((2, 2))], biases=[np.zeros(2)])

@@ -1,0 +1,86 @@
+"""Tests for quantization-aware training (Table 2's protocol)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gnn.training import QATConfig, fake_quantize, train_qgnn
+from repro.graph.generators import planted_partition_graph
+
+
+@pytest.fixture(scope="module")
+def task_graph():
+    """A learnable but non-trivial node classification task."""
+    return planted_partition_graph(
+        900,
+        5400,
+        num_communities=18,
+        feature_dim=16,
+        num_classes=6,
+        feature_noise=2.0,
+        rng=np.random.default_rng(21),
+    )
+
+
+class TestFakeQuantize:
+    def test_identity_at_32_bits(self, rng):
+        x = rng.normal(size=(8, 8))
+        assert fake_quantize(x, 32) is x
+
+    def test_constant_tensor_passthrough(self):
+        x = np.full((4, 4), 2.5)
+        np.testing.assert_array_equal(fake_quantize(x, 4), x)
+
+    def test_bounded_error(self, rng):
+        x = rng.uniform(-2, 2, size=1000)
+        for bits in (2, 4, 8):
+            err = np.abs(fake_quantize(x, bits) - x).max()
+            assert err <= (x.max() - x.min()) / (1 << bits)
+
+    def test_few_distinct_levels(self, rng):
+        x = rng.normal(size=5000)
+        q = fake_quantize(x, 3)
+        assert np.unique(q).size <= 8
+
+
+class TestQATConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            QATConfig(bits=0)
+        with pytest.raises(ConfigError):
+            QATConfig(epochs=0)
+        with pytest.raises(ConfigError):
+            QATConfig(train_fraction=0.8, val_fraction=0.3)
+
+
+class TestTraining:
+    def test_learns_fp32(self, task_graph):
+        result = train_qgnn(task_graph, QATConfig(bits=32, epochs=60, seed=1))
+        # Must beat the 6-class random baseline by a wide margin.
+        assert result.test_accuracy > 0.5
+        # Loss decreases overall.
+        assert result.train_losses[-1] < result.train_losses[0] * 0.8
+
+    def test_accuracy_degrades_at_low_bits(self, task_graph):
+        # The Table 2 trend: fp32 >= 8-bit >> 1-bit.
+        accs = {
+            bits: train_qgnn(
+                task_graph, QATConfig(bits=bits, epochs=60, seed=1)
+            ).test_accuracy
+            for bits in (32, 8, 1)
+        }
+        assert accs[32] >= accs[8] - 0.05  # near-flat down to 8 bits
+        assert accs[1] < accs[32] - 0.1   # collapse at 1 bit
+
+    def test_requires_features_and_labels(self, rng):
+        g = planted_partition_graph(100, 400, rng=rng)
+        with pytest.raises(ConfigError):
+            train_qgnn(g)
+
+    def test_deterministic_given_seed(self, task_graph):
+        r1 = train_qgnn(task_graph, QATConfig(bits=8, epochs=10, seed=4))
+        r2 = train_qgnn(task_graph, QATConfig(bits=8, epochs=10, seed=4))
+        assert r1.test_accuracy == r2.test_accuracy
+        np.testing.assert_array_equal(r1.weights[0], r2.weights[0])

@@ -1,0 +1,94 @@
+"""Tests for synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph.generators import caveman_graph, planted_partition_graph, random_graph
+from repro.partition.quality import modularity
+
+
+class TestPlantedPartition:
+    def test_target_sizes_hit(self, rng):
+        g = planted_partition_graph(2000, 10000, rng=rng)
+        assert g.num_nodes == 2000
+        # Oversampling + dedup: within 3 % of the edge budget.
+        assert abs(g.num_edges - 10000) / 10000 < 0.03
+
+    def test_deterministic_given_seed(self):
+        g1 = planted_partition_graph(500, 2000, rng=np.random.default_rng(9))
+        g2 = planted_partition_graph(500, 2000, rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(g1.indices, g2.indices)
+
+    def test_clustering_present(self, rng):
+        # Community structure must be visible to modularity on the planted
+        # assignment — the property METIS exploits.
+        g = planted_partition_graph(
+            1200, 9000, num_communities=12, intra_fraction=0.9, rng=rng
+        )
+        # Rough planted assignment: contiguous ranges of ~100 nodes.
+        planted = np.minimum(np.arange(1200) // 100, 11)
+        assert modularity(g, planted) > 0.4
+
+    def test_features_class_informative(self, rng):
+        g = planted_partition_graph(
+            800, 4000, feature_dim=8, num_classes=4, feature_noise=0.3, rng=rng
+        )
+        assert g.features.shape == (800, 8)
+        assert g.labels.shape == (800,)
+        # Same-class centroids: within-class variance < between-class.
+        # (Only classes that actually received a community are comparable —
+        # the community -> class map is random and may skip a class.)
+        present = np.unique(g.labels)
+        assert present.size >= 2
+        centroids = np.stack(
+            [g.features[g.labels == c].mean(axis=0) for c in present]
+        )
+        class_index = np.searchsorted(present, g.labels)
+        spread = np.linalg.norm(centroids - centroids.mean(axis=0), axis=1).mean()
+        noise = np.linalg.norm(
+            g.features - centroids[class_index], axis=1
+        ).mean() / np.sqrt(8)
+        assert spread > noise
+
+    def test_feature_dim_requires_classes(self, rng):
+        with pytest.raises(ConfigError):
+            planted_partition_graph(100, 200, feature_dim=4, rng=rng)
+
+    def test_bad_sizes(self, rng):
+        with pytest.raises(ConfigError):
+            planted_partition_graph(1, 10, rng=rng)
+        with pytest.raises(ConfigError):
+            planted_partition_graph(10, 0, rng=rng)
+        with pytest.raises(ConfigError):
+            planted_partition_graph(10, 10, intra_fraction=1.5, rng=rng)
+
+
+class TestRandomGraph:
+    def test_no_community_structure(self, rng):
+        g = random_graph(1000, 5000, rng=rng)
+        planted = np.arange(1000) // 100
+        assert modularity(g, planted) < 0.1
+
+
+class TestCaveman:
+    def test_pure_cliques(self):
+        g = caveman_graph(4, 5)
+        assert g.num_nodes == 20
+        assert g.num_edges == 4 * 10  # 4 cliques x C(5,2)
+        # Perfect partition has zero cut.
+        planted = np.arange(20) // 5
+        assert modularity(g, planted) > 0.7
+
+    def test_rewiring_adds_edges(self, rng):
+        base = caveman_graph(4, 5)
+        noisy = caveman_graph(4, 5, rewire_edges=20, rng=rng)
+        assert noisy.num_edges >= base.num_edges
+
+    def test_bad_config(self):
+        with pytest.raises(ConfigError):
+            caveman_graph(0, 5)
+        with pytest.raises(ConfigError):
+            caveman_graph(3, 1)

@@ -1,0 +1,97 @@
+"""Tests for BFS and label-propagation partitioning baselines and the
+uniform partition interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.generators import caveman_graph, planted_partition_graph
+from repro.partition.bfs import bfs_partition
+from repro.partition.interface import PARTITION_METHODS, partition_graph
+from repro.partition.label_prop import (
+    label_prop_partition,
+    label_propagation_communities,
+)
+from repro.partition.quality import balance, intra_edge_fraction
+
+
+@pytest.fixture
+def clustered(rng):
+    return planted_partition_graph(
+        1200, 7000, num_communities=12, intra_fraction=0.9, rng=rng
+    )
+
+
+class TestBFSPartition:
+    def test_perfect_balance(self, clustered):
+        for k in (3, 7, 16):
+            assignment = bfs_partition(clustered, k)
+            counts = np.bincount(assignment, minlength=k)
+            assert counts.max() - counts.min() <= 1
+
+    def test_all_parts_used(self, clustered):
+        assignment = bfs_partition(clustered, 30)
+        assert np.unique(assignment).size == 30
+
+    def test_bad_k(self, clustered):
+        with pytest.raises(PartitionError):
+            bfs_partition(clustered, 0)
+        with pytest.raises(PartitionError):
+            bfs_partition(clustered, clustered.num_nodes + 1)
+
+
+class TestLabelProp:
+    def test_communities_on_caveman(self, rng):
+        g = caveman_graph(8, 12, rng=rng)
+        comms = label_propagation_communities(g, seed=1)
+        # Disjoint cliques must resolve to exactly one label each.
+        for c in range(8):
+            block = comms[c * 12 : (c + 1) * 12]
+            assert np.unique(block).size == 1
+
+    def test_partition_exact_k_nonempty(self, clustered):
+        for k in (5, 12, 40):
+            assignment = label_prop_partition(clustered, k, seed=1)
+            counts = np.bincount(assignment, minlength=k)
+            assert (counts > 0).all()
+
+    def test_quality_beats_bfs_on_clusters(self, clustered):
+        lp = label_prop_partition(clustered, 12, seed=1)
+        bfs = bfs_partition(clustered, 12)
+        assert intra_edge_fraction(clustered, lp) > intra_edge_fraction(clustered, bfs)
+
+    def test_bad_k(self, clustered):
+        with pytest.raises(PartitionError):
+            label_prop_partition(clustered, 0)
+
+
+class TestInterface:
+    def test_registry_contents(self):
+        assert set(PARTITION_METHODS) == {"metis", "bfs", "label_prop"}
+
+    def test_result_metrics_consistent(self, clustered):
+        result = partition_graph(clustered, 12, method="metis")
+        assert result.num_parts == 12
+        assert result.part_sizes().sum() == clustered.num_nodes
+        assert 0.0 <= result.intra_edge_fraction <= 1.0
+        assert result.balance >= 1.0
+        assert result.edge_cut == round(
+            (1 - result.intra_edge_fraction) * clustered.num_edges
+        )
+
+    def test_unknown_method(self, clustered):
+        with pytest.raises(PartitionError):
+            partition_graph(clustered, 4, method="voodoo")
+
+    def test_method_quality_ordering(self, clustered):
+        # The paper's §4.1 claim: METIS captures more intra-partition edges
+        # than BFS-based methods on community-structured graphs.
+        metis = partition_graph(clustered, 12, method="metis")
+        bfs = partition_graph(clustered, 12, method="bfs")
+        assert metis.intra_edge_fraction > bfs.intra_edge_fraction + 0.2
+
+    def test_balance_within_envelope(self, clustered):
+        result = partition_graph(clustered, 12, method="metis")
+        assert balance(result.assignment, 12) < 1.35

@@ -1,0 +1,187 @@
+"""Tests for the multilevel METIS-substitute pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import caveman_graph, planted_partition_graph, random_graph
+from repro.partition.coarsen import CoarseGraph, build_hierarchy, coarsen_once
+from repro.partition.initial import bfs_order, initial_partition
+from repro.partition.matching import heavy_edge_matching
+from repro.partition.metis_like import metis_like_partition
+from repro.partition.quality import balance, intra_edge_fraction
+from repro.partition.refine import refine_partition
+
+
+@pytest.fixture
+def clustered(rng):
+    return planted_partition_graph(
+        1500, 9000, num_communities=15, intra_fraction=0.9, rng=rng
+    )
+
+
+class TestMatching:
+    def test_is_a_matching(self, clustered, rng):
+        match = heavy_edge_matching(clustered.to_scipy())
+        # Involution: match[match[v]] == v.
+        np.testing.assert_array_equal(match[match], np.arange(clustered.num_nodes))
+
+    def test_respects_weight_cap(self, clustered):
+        nw = np.ones(clustered.num_nodes)
+        nw[::2] = 10.0
+        match = heavy_edge_matching(
+            clustered.to_scipy(), node_weight=nw, max_node_weight=5.0
+        )
+        matched = match != np.arange(clustered.num_nodes)
+        combined = nw + nw[match]
+        assert np.all(combined[matched] <= 5.0)
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(4, np.empty((0, 2)))
+        match = heavy_edge_matching(g.to_scipy())
+        np.testing.assert_array_equal(match, np.arange(4))
+
+    def test_prefers_heavy_edges(self):
+        # Path a-b-c with weight(ab)=10, weight(bc)=1: b must pair with a.
+        import scipy.sparse as sp
+
+        adj = sp.csr_matrix(
+            np.array([[0, 10, 0], [10, 0, 1], [0, 1, 0]], dtype=np.float64)
+        )
+        match = heavy_edge_matching(adj)
+        assert match[0] == 1 and match[1] == 0
+        assert match[2] == 2
+
+
+class TestCoarsening:
+    def test_contraction_preserves_weight(self, clustered):
+        fine = CoarseGraph.from_csr(clustered)
+        coarse, mapping = coarsen_once(fine)
+        assert coarse.node_weight.sum() == pytest.approx(fine.node_weight.sum())
+        assert mapping.shape == (clustered.num_nodes,)
+        assert mapping.max() == coarse.num_nodes - 1
+
+    def test_contraction_shrinks(self, clustered):
+        fine = CoarseGraph.from_csr(clustered)
+        coarse, _ = coarsen_once(fine)
+        assert coarse.num_nodes < fine.num_nodes
+
+    def test_hierarchy_reaches_target(self, clustered):
+        levels = build_hierarchy(clustered, coarsest_nodes=200)
+        assert levels[-1].graph.num_nodes <= max(
+            200, int(levels[-2].graph.num_nodes * 0.93)
+        )
+        # Every level except the last carries a projection map.
+        assert all(lv.fine_to_coarse is not None for lv in levels[:-1])
+        assert levels[-1].fine_to_coarse is None
+
+    def test_hierarchy_invalid_target(self, clustered):
+        with pytest.raises(PartitionError):
+            build_hierarchy(clustered, coarsest_nodes=0)
+
+
+class TestInitialPartition:
+    def test_bfs_order_covers_components(self):
+        # Two disconnected edges: order must still cover all 4 nodes.
+        g = CSRGraph.from_edges(4, np.array([[0, 1], [2, 3]]))
+        order = bfs_order(g.to_scipy())
+        assert sorted(order.tolist()) == [0, 1, 2, 3]
+
+    def test_every_part_nonempty(self, clustered):
+        cg = CoarseGraph.from_csr(clustered)
+        for k in (2, 7, 50, 300):
+            assignment = initial_partition(cg, k)
+            counts = np.bincount(assignment, minlength=k)
+            assert (counts > 0).all(), k
+
+    def test_balanced(self, clustered):
+        cg = CoarseGraph.from_csr(clustered)
+        assignment = initial_partition(cg, 10)
+        assert balance(assignment, 10) < 1.6
+
+    def test_too_many_parts(self, clustered):
+        cg = CoarseGraph.from_csr(clustered)
+        with pytest.raises(PartitionError):
+            initial_partition(cg, clustered.num_nodes + 1)
+
+    def test_isolated_seeds_do_not_starve(self, rng):
+        # A graph with isolated nodes: parts must still balance (this was a
+        # real bug — isolated seeds starved their parts).
+        g = planted_partition_graph(400, 900, num_communities=8, rng=rng)
+        cg = CoarseGraph.from_csr(g)
+        assignment = initial_partition(cg, 16)
+        assert balance(assignment, 16) < 1.7
+
+
+class TestRefinement:
+    def test_never_worsens_cut(self, clustered, rng):
+        cg = CoarseGraph.from_csr(clustered)
+        noisy = rng.integers(0, 8, clustered.num_nodes)
+        # Guarantee all parts non-empty.
+        noisy[:8] = np.arange(8)
+        before = intra_edge_fraction(clustered, noisy)
+        refined = refine_partition(cg, noisy, 8, balance_tolerance=1.5)
+        after = intra_edge_fraction(clustered, refined)
+        assert after >= before
+
+    def test_keeps_parts_nonempty(self, clustered, rng):
+        cg = CoarseGraph.from_csr(clustered)
+        assignment = rng.integers(0, 4, clustered.num_nodes)
+        assignment[:4] = np.arange(4)
+        refined = refine_partition(cg, assignment, 4, balance_tolerance=2.0)
+        assert np.bincount(refined, minlength=4).min() > 0
+
+    def test_respects_balance_envelope(self, clustered, rng):
+        cg = CoarseGraph.from_csr(clustered)
+        assignment = np.arange(clustered.num_nodes) % 10
+        refined = refine_partition(cg, assignment, 10, balance_tolerance=1.1)
+        assert balance(refined, 10) <= 1.1 + 1e-9
+
+    def test_bad_tolerance(self, clustered):
+        cg = CoarseGraph.from_csr(clustered)
+        with pytest.raises(PartitionError):
+            refine_partition(cg, np.zeros(clustered.num_nodes, np.int64), 1, balance_tolerance=0.9)
+
+
+class TestEndToEnd:
+    def test_recovers_caveman_structure(self, rng):
+        g = caveman_graph(16, 10, rewire_edges=20, rng=rng)
+        assignment = metis_like_partition(g, 16)
+        assert intra_edge_fraction(g, assignment) > 0.9
+        assert balance(assignment, 16) < 1.3
+
+    def test_beats_random_assignment_on_clusters(self, clustered, rng):
+        assignment = metis_like_partition(clustered, 15)
+        shuffled = rng.permutation(assignment)
+        gain = intra_edge_fraction(clustered, assignment) - intra_edge_fraction(
+            clustered, shuffled
+        )
+        assert gain > 0.3
+
+    def test_single_part(self, clustered):
+        np.testing.assert_array_equal(
+            metis_like_partition(clustered, 1), np.zeros(clustered.num_nodes)
+        )
+
+    def test_invalid_part_counts(self, clustered):
+        with pytest.raises(PartitionError):
+            metis_like_partition(clustered, 0)
+        with pytest.raises(PartitionError):
+            metis_like_partition(clustered, clustered.num_nodes + 1)
+
+    def test_many_parts_all_nonempty(self, clustered):
+        assignment = metis_like_partition(clustered, 200)
+        assert np.bincount(assignment, minlength=200).min() > 0
+
+    def test_deterministic_given_seed(self, clustered):
+        a1 = metis_like_partition(clustered, 12, seed=3)
+        a2 = metis_like_partition(clustered, 12, seed=3)
+        np.testing.assert_array_equal(a1, a2)
+
+    def test_unclustered_graph_still_balanced(self, rng):
+        g = random_graph(800, 4000, rng=rng)
+        assignment = metis_like_partition(g, 10)
+        assert balance(assignment, 10) < 1.3

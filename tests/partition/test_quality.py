@@ -1,0 +1,86 @@
+"""Tests for partition quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import caveman_graph
+from repro.partition.quality import (
+    balance,
+    check_assignment,
+    edge_cut,
+    intra_edge_fraction,
+    modularity,
+)
+
+
+@pytest.fixture
+def two_triangles():
+    """Two triangles joined by one bridge edge."""
+    edges = np.array([[0, 1], [1, 2], [0, 2], [3, 4], [4, 5], [3, 5], [2, 3]])
+    return CSRGraph.from_edges(6, edges)
+
+
+class TestEdgeCut:
+    def test_perfect_split(self, two_triangles):
+        assignment = np.array([0, 0, 0, 1, 1, 1])
+        assert edge_cut(two_triangles, assignment) == 1
+        assert intra_edge_fraction(two_triangles, assignment) == pytest.approx(6 / 7)
+
+    def test_single_part_no_cut(self, two_triangles):
+        assert edge_cut(two_triangles, np.zeros(6, np.int64)) == 0
+        assert intra_edge_fraction(two_triangles, np.zeros(6, np.int64)) == 1.0
+
+    def test_worst_split(self, two_triangles):
+        # Alternating assignment cuts most edges.
+        assignment = np.array([0, 1, 0, 1, 0, 1])
+        assert edge_cut(two_triangles, assignment) >= 4
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(3, np.empty((0, 2)))
+        assert intra_edge_fraction(g, np.zeros(3, np.int64)) == 1.0
+
+
+class TestBalance:
+    def test_perfect(self):
+        assert balance(np.array([0, 0, 1, 1]), 2) == 1.0
+
+    def test_skewed(self):
+        assert balance(np.array([0, 0, 0, 1]), 2) == pytest.approx(1.5)
+
+    def test_empty(self):
+        assert balance(np.empty(0, np.int64), 4) == 1.0
+
+
+class TestModularity:
+    def test_planted_beats_random(self, rng):
+        g = caveman_graph(10, 8, rewire_edges=40, rng=rng)
+        planted = np.arange(80) // 8
+        shuffled = rng.permutation(planted)
+        assert modularity(g, planted) > modularity(g, shuffled) + 0.2
+
+    def test_single_part_zero(self, two_triangles):
+        assert modularity(two_triangles, np.zeros(6, np.int64)) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(3, np.empty((0, 2)))
+        assert modularity(g, np.zeros(3, np.int64)) == 0.0
+
+
+class TestCheckAssignment:
+    def test_shape_mismatch(self, two_triangles):
+        with pytest.raises(PartitionError):
+            check_assignment(two_triangles, np.zeros(5, np.int64), 2)
+
+    def test_out_of_range(self, two_triangles):
+        with pytest.raises(PartitionError):
+            check_assignment(two_triangles, np.full(6, 3, np.int64), 2)
+
+    def test_valid_passthrough(self, two_triangles):
+        a = check_assignment(two_triangles, np.zeros(6, np.int32), 1)
+        assert a.dtype == np.int64

@@ -1,0 +1,77 @@
+"""Tests for the PCIe model and bandwidth-optimized subgraph packing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, DeviceError
+from repro.runtime.packing import batch_payload, batch_transfer_time
+from repro.runtime.pcie import transfer_time
+from repro.tc.hardware import RTX3090
+
+
+class TestTransferTime:
+    def test_latency_plus_bandwidth(self):
+        est = transfer_time(32_000_000, RTX3090)
+        expected = RTX3090.pcie_latency_s + 32e6 / RTX3090.effective_pcie_bw
+        assert est.seconds == pytest.approx(expected)
+
+    def test_more_transactions_cost_more(self):
+        one = transfer_time(1_000_000, RTX3090, transactions=1)
+        two = transfer_time(1_000_000, RTX3090, transactions=2)
+        assert two.seconds > one.seconds
+
+    def test_effective_bandwidth_below_peak(self):
+        est = transfer_time(1_000_000, RTX3090)
+        assert est.effective_gbs < RTX3090.pcie_bw_gbs
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            transfer_time(-1, RTX3090)
+        with pytest.raises(DeviceError):
+            transfer_time(10, RTX3090, transactions=0)
+
+
+class TestBatchPayload:
+    def test_dense_fp32_sizes(self):
+        p = batch_payload(100, 32, 4, mode="dense-fp32")
+        assert p.adjacency_bytes == 100 * 100 * 4
+        assert p.feature_bytes == 100 * 32 * 4
+        assert p.transactions == 2
+
+    def test_packed_much_smaller(self):
+        dense = batch_payload(1024, 64, 2, mode="dense-fp32")
+        packed = batch_payload(1024, 64, 2, mode="packed-compound")
+        # The paper's §4.6 claim: packed traffic is dramatically smaller.
+        assert packed.total_bytes * 10 < dense.total_bytes
+
+    def test_compound_single_transaction(self):
+        sep = batch_payload(512, 64, 4, mode="packed-separate")
+        comp = batch_payload(512, 64, 4, mode="packed-compound")
+        assert sep.total_bytes == comp.total_bytes
+        assert sep.transactions == 2
+        assert comp.transactions == 1
+
+    def test_feature_bytes_scale_with_bits(self):
+        two = batch_payload(512, 64, 2, mode="packed-compound")
+        eight = batch_payload(512, 64, 8, mode="packed-compound")
+        assert eight.feature_bytes == 4 * two.feature_bytes
+        assert eight.adjacency_bytes == two.adjacency_bytes  # always 1-bit
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            batch_payload(0, 8, 4)
+        with pytest.raises(ConfigError):
+            batch_payload(8, 8, 0)
+        with pytest.raises(ConfigError):
+            batch_payload(8, 8, 4, mode="carrier-pigeon")
+
+
+class TestBatchTransferTime:
+    def test_compound_fastest(self):
+        times = {
+            mode: batch_transfer_time(1024, 64, 2, RTX3090, mode=mode).seconds
+            for mode in ("dense-fp32", "packed-separate", "packed-compound")
+        }
+        assert times["packed-compound"] < times["packed-separate"]
+        assert times["packed-separate"] < times["dense-fp32"]

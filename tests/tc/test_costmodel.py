@@ -1,0 +1,105 @@
+"""Tests for the analytical cost model and its paper-facing shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.tc.costmodel import MMA_FLOPS, TCCostModel, tflops, useful_flops
+from repro.tc.hardware import RTX3090
+from repro.tc.kernel import KernelConfig
+
+
+@pytest.fixture
+def model():
+    return TCCostModel(RTX3090)
+
+
+class TestBasics:
+    def test_mma_flops_constant(self):
+        assert MMA_FLOPS == 2 * 8 * 8 * 128
+
+    def test_useful_flops(self):
+        assert useful_flops(8, 128, 8) == MMA_FLOPS
+
+    def test_tflops_degenerate(self):
+        assert tflops(1e12, 0.0) == 0.0
+        assert tflops(1e12, 1.0) == pytest.approx(1.0)
+
+    def test_gemm_time_positive(self, model):
+        t = model.gemm_time(1024, 1024, 64, 1, 2)
+        assert t.total_s > 0
+        assert t.launch_s >= RTX3090.kernel_launch_s
+
+    def test_bad_density(self, model):
+        with pytest.raises(ShapeError):
+            model.gemm_counters(64, 64, 64, 1, 1, nonzero_tile_fraction=1.5)
+
+
+class TestPaperShapes:
+    """The qualitative claims of Table 3 / Figures 7c and 9."""
+
+    def test_table3_one_bit_within_25pct(self, model):
+        # Calibration check against the six QGTC(1-bit) Table 3 entries.
+        paper = {
+            (2048, 32): 32.65,
+            (4096, 32): 81.41,
+            (8192, 32): 94.58,
+            (2048, 64): 63.94,
+            (4096, 64): 89.18,
+            (8192, 64): 104.66,
+        }
+        for (n, d), expected in paper.items():
+            got = model.gemm_tflops(n, n, d, 1, 1)
+            assert abs(got - expected) / expected < 0.30, (n, d, got, expected)
+
+    def test_throughput_decreases_with_bits(self, model):
+        # Table 3 rows: QGTC(1) > QGTC(2) > QGTC(3) > QGTC(4).
+        rates = [model.gemm_tflops(4096, 4096, 64, 1, b) for b in (1, 2, 3, 4)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_figure9_scaling_in_n(self, model):
+        # Throughput rises with N and saturates (Figure 9's S-curve).
+        sizes = [128, 512, 2048, 8192, 32768]
+        rates = [model.gemm_tflops(n, n, 64, 1, 1) for n in sizes]
+        assert rates == sorted(rates)
+        # Saturation: the last doubling gains much less than an early one.
+        assert rates[1] / rates[0] > 1.5
+        assert rates[-1] / rates[-2] < 1.5
+
+    def test_figure9_larger_d_helps(self, model):
+        # "the larger D usually leads to better utilization of the GPU".
+        for n in (1024, 4096):
+            rates = [model.gemm_tflops(n, n, d, 1, 1) for d in (16, 64, 256, 1024)]
+            assert rates == sorted(rates)
+
+    def test_zero_tile_fraction_speeds_up(self, model):
+        dense = model.gemm_time(4096, 4096, 64, 1, 2, nonzero_tile_fraction=1.0)
+        sparse = model.gemm_time(4096, 4096, 64, 1, 2, nonzero_tile_fraction=0.3)
+        assert sparse.total_s < dense.total_s
+
+    def test_reuse_helps_large_hurts_small(self, model):
+        # Figure 10's shape: cross-tile wins at large N/bits, can lose small.
+        def ratio(n, bits):
+            cb = model.gemm_time(
+                n, n, 1024, 1, bits, config=KernelConfig(reuse="cross-bit")
+            ).total_s
+            ct = model.gemm_time(
+                n, n, 1024, 1, bits, config=KernelConfig(reuse="cross-tile")
+            ).total_s
+            return cb / ct
+
+        assert ratio(8192, 16) > 1.1
+        assert ratio(8192, 16) > ratio(8192, 4) - 1e-9
+        assert ratio(1024, 4) < 1.0
+
+    def test_pass_overhead_scales_with_bits(self, model):
+        # Tiny GEMMs: 32-bit must cost visibly more than 2-bit even though
+        # both are launch-dominated (Figure 7a's Proteins bars).
+        t2 = model.gemm_time(32, 32, 16, 2, 2).total_s
+        t32 = model.gemm_time(32, 32, 16, 32, 32).total_s
+        assert t32 > t2 * 2
+
+    def test_compute_bound_at_scale(self, model):
+        t = model.gemm_time(16384, 16384, 256, 1, 1)
+        assert t.bound == "compute"

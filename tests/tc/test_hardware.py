@@ -1,0 +1,76 @@
+"""Tests for emulated device descriptions."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.tc.hardware import A100, LAPTOP_GPU, RTX3090, DeviceSpec, get_device
+
+
+class TestRTX3090:
+    def test_paper_platform_constants(self):
+        # The paper evaluates on RTX3090: Ampere, 24 GB, PCIe 4.0 x16.
+        assert RTX3090.sm_count == 82
+        assert RTX3090.pcie_bw_gbs == 32.0
+        assert RTX3090.dram_bw_gbs == 936.0
+
+    def test_tc_speedup_over_10x(self):
+        # Paper §1: TC beats CUDA cores by more than 10x.
+        assert RTX3090.tc_speedup_over_cuda > 10
+
+    def test_effective_below_peak(self):
+        assert RTX3090.bit1_tc_effective_tflops < RTX3090.bit1_tc_peak_tops
+        assert RTX3090.fp32_effective_tflops < RTX3090.fp32_peak_tflops
+        assert RTX3090.spmm_effective_tflops < RTX3090.fp32_effective_tflops
+
+    def test_effective_bandwidths(self):
+        assert RTX3090.effective_dram_bw == pytest.approx(936e9 * 0.75)
+        assert RTX3090.effective_pcie_bw == pytest.approx(32e9 * 0.80)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(DeviceError):
+            dataclasses.replace(RTX3090, fp32_peak_tflops=0.0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(DeviceError):
+            dataclasses.replace(RTX3090, dram_efficiency=1.5)
+        with pytest.raises(DeviceError):
+            dataclasses.replace(RTX3090, pcie_efficiency=0.0)
+
+    def test_rejects_effective_above_peak(self):
+        with pytest.raises(DeviceError):
+            dataclasses.replace(RTX3090, bit1_tc_effective_tflops=2000.0)
+
+
+class TestScaling:
+    def test_scaled_preserves_ratios(self):
+        half = RTX3090.scaled(0.5)
+        assert half.bit1_tc_effective_tflops == pytest.approx(
+            RTX3090.bit1_tc_effective_tflops * 0.5
+        )
+        assert half.tc_speedup_over_cuda == pytest.approx(RTX3090.tc_speedup_over_cuda)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(DeviceError):
+            RTX3090.scaled(0.0)
+
+    def test_laptop_is_scaled_3090(self):
+        assert LAPTOP_GPU.fp32_peak_tflops == pytest.approx(35.6 * 0.45)
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_device("rtx3090") is RTX3090
+        assert get_device("A100") is A100
+
+    def test_unknown_device(self):
+        with pytest.raises(DeviceError):
+            get_device("h100")
+
+    def test_a100_is_valid(self):
+        assert isinstance(A100, DeviceSpec)

@@ -1,0 +1,162 @@
+"""Tests for the emulated QGTC kernel: fast path vs literal tile loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitpack import pack_matrix
+from repro.errors import PackingError, ShapeError
+from repro.tc.kernel import BitGemmKernel, KernelConfig, derive_tile_counters
+
+COUNTER_FIELDS = [
+    "mma_ops",
+    "frag_loads_a",
+    "frag_loads_b",
+    "frag_stores",
+    "global_bytes_read",
+    "global_bytes_written",
+    "tiles_total",
+    "tiles_skipped",
+    "tiles_processed",
+]
+
+
+def _sparse_operands(rng, m=40, k=260, n=20, bits_b=2, density=0.04):
+    adj = (rng.random((m, k)) < density).astype(np.int64)
+    x = rng.integers(0, 1 << bits_b, (k, n))
+    return (
+        adj,
+        x,
+        pack_matrix(adj, 1, layout="col"),
+        pack_matrix(x, bits_b, layout="row"),
+    )
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("reuse", ["cross-bit", "cross-tile"])
+    @pytest.mark.parametrize("jumping", [True, False])
+    def test_fast_equals_tile_loop(self, rng, reuse, jumping):
+        adj, x, pa, pb = _sparse_operands(rng)
+        kernel = BitGemmKernel(KernelConfig(zero_tile_jumping=jumping, reuse=reuse))
+        fast = kernel.run(pa, pb)
+        slow = kernel.run_tile_loop(pa, pb)
+        np.testing.assert_array_equal(fast.output, adj @ x)
+        np.testing.assert_array_equal(slow.output, adj @ x)
+        for field in COUNTER_FIELDS:
+            assert getattr(fast.counters, field) == getattr(slow.counters, field), field
+
+    def test_multibit_left_operand(self, rng):
+        # The update GEMM: multi-bit x multi-bit, no jumping applies.
+        a = rng.integers(0, 4, (24, 130))
+        b = rng.integers(0, 8, (130, 16))
+        pa = pack_matrix(a, 2, layout="col")
+        pb = pack_matrix(b, 3, layout="row")
+        kernel = BitGemmKernel(KernelConfig())
+        fast = kernel.run(pa, pb)
+        slow = kernel.run_tile_loop(pa, pb)
+        np.testing.assert_array_equal(fast.output, a @ b)
+        for field in COUNTER_FIELDS:
+            assert getattr(fast.counters, field) == getattr(slow.counters, field), field
+        # Jumping never engages on multi-bit left operands.
+        assert fast.counters.tiles_skipped == 0
+
+    def test_all_zero_adjacency(self, rng):
+        adj = np.zeros((16, 256), np.int64)
+        x = rng.integers(0, 4, (256, 8))
+        pa = pack_matrix(adj, 1, layout="col")
+        pb = pack_matrix(x, 2, layout="row")
+        kernel = BitGemmKernel(KernelConfig())
+        res = kernel.run(pa, pb)
+        assert res.output.sum() == 0
+        assert res.counters.mma_ops == 0
+        assert res.counters.tiles_skipped == res.counters.tiles_total
+
+
+class TestJumpingEffect:
+    def test_skips_reduce_work(self, rng):
+        adj, x, pa, pb = _sparse_operands(rng, density=0.01)
+        on = BitGemmKernel(KernelConfig(zero_tile_jumping=True)).run(pa, pb)
+        off = BitGemmKernel(KernelConfig(zero_tile_jumping=False)).run(pa, pb)
+        np.testing.assert_array_equal(on.output, off.output)
+        assert on.counters.mma_ops < off.counters.mma_ops
+        assert on.counters.tiles_skipped > 0
+        assert off.counters.tiles_skipped == 0
+
+    def test_dense_adjacency_no_skips(self, rng):
+        adj = np.ones((16, 256), np.int64)
+        x = rng.integers(0, 4, (256, 8))
+        pa = pack_matrix(adj, 1, layout="col")
+        pb = pack_matrix(x, 2, layout="row")
+        res = BitGemmKernel(KernelConfig()).run(pa, pb)
+        assert res.counters.tiles_skipped == 0
+        assert res.counters.processed_fraction == 1.0
+
+
+class TestReuseEffect:
+    def test_cross_tile_loads_a_once(self, rng):
+        adj, x, pa, pb = _sparse_operands(rng, bits_b=4)
+        ct = BitGemmKernel(KernelConfig(reuse="cross-tile")).run(pa, pb)
+        cb = BitGemmKernel(KernelConfig(reuse="cross-bit")).run(pa, pb)
+        np.testing.assert_array_equal(ct.output, cb.output)
+        # §4.4: O(n) -> O(1) loads per surviving tile, n = embedding bits.
+        assert cb.counters.frag_loads_a == 4 * ct.counters.frag_loads_a
+        assert ct.counters.frag_loads_a == ct.counters.tiles_processed
+
+    def test_cross_bit_rmw_traffic(self, rng):
+        adj, x, pa, pb = _sparse_operands(rng, bits_b=4)
+        ct = BitGemmKernel(KernelConfig(reuse="cross-tile")).run(pa, pb)
+        cb = BitGemmKernel(KernelConfig(reuse="cross-bit")).run(pa, pb)
+        assert cb.counters.global_bytes_written > ct.counters.global_bytes_written
+        assert cb.counters.frag_stores > ct.counters.frag_stores
+
+    def test_mma_count_identical_across_schedules(self, rng):
+        adj, x, pa, pb = _sparse_operands(rng, bits_b=3)
+        ct = BitGemmKernel(KernelConfig(reuse="cross-tile")).run(pa, pb)
+        cb = BitGemmKernel(KernelConfig(reuse="cross-bit")).run(pa, pb)
+        assert ct.counters.mma_ops == cb.counters.mma_ops
+
+
+class TestValidation:
+    def test_layout_checks(self, rng):
+        a = rng.integers(0, 2, (8, 128))
+        pa_row = pack_matrix(a, 1, layout="row")
+        pb_col = pack_matrix(a, 1, layout="col")
+        kernel = BitGemmKernel()
+        with pytest.raises(PackingError):
+            kernel.run(pa_row, pack_matrix(a, 1, layout="row"))
+        with pytest.raises(PackingError):
+            kernel.run(pack_matrix(a, 1, layout="col"), pb_col)
+
+    def test_k_mismatch(self, rng):
+        pa = pack_matrix(rng.integers(0, 2, (8, 128)), 1, layout="col")
+        pb = pack_matrix(rng.integers(0, 2, (127, 8)), 1, layout="row")
+        with pytest.raises(ShapeError):
+            BitGemmKernel().run(pa, pb)
+
+    def test_bad_reuse_mode(self):
+        with pytest.raises(ShapeError):
+            KernelConfig(reuse="sideways")
+
+
+class TestDeriveCounters:
+    def test_validates_plane_list(self):
+        with pytest.raises(ShapeError):
+            derive_tile_counters(
+                mt=2, kt=2, nt=1, bits_a=2, bits_b=1,
+                processed_per_plane=[1], jumping=True, config=KernelConfig(),
+            )
+        with pytest.raises(ShapeError):
+            derive_tile_counters(
+                mt=2, kt=2, nt=1, bits_a=1, bits_b=1,
+                processed_per_plane=[5], jumping=True, config=KernelConfig(),
+            )
+
+    def test_mma_formula(self):
+        c = derive_tile_counters(
+            mt=4, kt=2, nt=3, bits_a=1, bits_b=5,
+            processed_per_plane=[6], jumping=True, config=KernelConfig(),
+        )
+        assert c.mma_ops == 6 * 5 * 3
+        assert c.tiles_total == 8
+        assert c.tiles_skipped == 2

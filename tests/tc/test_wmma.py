@@ -1,0 +1,137 @@
+"""Tests for WMMA fragment emulation (paper §2.3, Listing 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitpack import pack_matrix
+from repro.errors import ShapeError
+from repro.tc.counters import KernelCounters
+from repro.tc.fragments import Fragment, make_fragment
+from repro.tc.wmma import (
+    TILE_ACCUM_BYTES,
+    TILE_OPERAND_BYTES,
+    bmma_sync,
+    load_matrix_sync,
+    store_matrix_sync,
+)
+
+
+class TestFragments:
+    def test_shapes_per_role(self):
+        assert make_fragment("matrix_a").data.shape == (8, 4)
+        assert make_fragment("matrix_b").data.shape == (8, 4)
+        assert make_fragment("accumulator").data.shape == (8, 8)
+
+    def test_unknown_role(self):
+        with pytest.raises(ShapeError):
+            make_fragment("matrix_c")
+        with pytest.raises(ShapeError):
+            Fragment(role="bogus", data=np.zeros((8, 4), np.uint32))
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            Fragment(role="matrix_a", data=np.zeros((8, 8), np.uint32))
+        with pytest.raises(ShapeError):
+            Fragment(role="matrix_a", data=np.zeros((8, 4), np.int64))
+
+    def test_fill(self):
+        frag = make_fragment("accumulator")
+        frag.fill(7)
+        assert (frag.data == 7).all()
+
+
+class TestLoadStore:
+    def test_load_reads_correct_tile(self, rng):
+        codes = rng.integers(0, 2, (16, 256))
+        packed = pack_matrix(codes, 1, layout="col")
+        frag = load_matrix_sync("matrix_a", packed.plane(0), 1, 1)
+        np.testing.assert_array_equal(frag.data, packed.plane(0)[8:16, 4:8])
+
+    def test_load_charges_counters(self, rng):
+        packed = pack_matrix(rng.integers(0, 2, (8, 128)), 1, layout="col")
+        c = KernelCounters()
+        load_matrix_sync("matrix_a", packed.plane(0), 0, 0, counters=c)
+        assert c.frag_loads_a == 1
+        assert c.global_bytes_read == TILE_OPERAND_BYTES
+        load_matrix_sync("matrix_b", packed.plane(0), 0, 0, counters=c)
+        assert c.frag_loads_b == 1
+
+    def test_load_out_of_bounds(self, rng):
+        packed = pack_matrix(rng.integers(0, 2, (8, 128)), 1, layout="col")
+        with pytest.raises(ShapeError):
+            load_matrix_sync("matrix_a", packed.plane(0), 1, 0)
+
+    def test_load_bad_role(self, rng):
+        packed = pack_matrix(rng.integers(0, 2, (8, 128)), 1, layout="col")
+        with pytest.raises(ShapeError):
+            load_matrix_sync("accumulator", packed.plane(0), 0, 0)
+
+    def test_store_writes_tile_and_counts(self):
+        out = np.zeros((16, 16), np.int64)
+        frag = make_fragment("accumulator")
+        frag.fill(3)
+        c = KernelCounters()
+        store_matrix_sync(out, frag, 1, 0, counters=c)
+        assert (out[8:16, 0:8] == 3).all()
+        assert out[:8].sum() == 0
+        assert c.frag_stores == 1
+        assert c.global_bytes_written == TILE_ACCUM_BYTES
+
+    def test_store_out_of_bounds(self):
+        out = np.zeros((8, 8), np.int64)
+        with pytest.raises(ShapeError):
+            store_matrix_sync(out, make_fragment("accumulator"), 1, 0)
+
+
+class TestBmma:
+    def test_single_tile_product(self, rng):
+        # One 8x128 x 128x8 1-bit tile product must equal the int GEMM.
+        a = rng.integers(0, 2, (8, 128))
+        b = rng.integers(0, 2, (128, 8))
+        pa = pack_matrix(a, 1, layout="col")
+        pb = pack_matrix(b, 1, layout="row")
+        a_frag = load_matrix_sync("matrix_a", pa.plane(0), 0, 0)
+        b_frag = load_matrix_sync("matrix_b", pb.plane(0), 0, 0)
+        c_frag = make_fragment("accumulator")
+        bmma_sync(c_frag, a_frag, b_frag)
+        np.testing.assert_array_equal(c_frag.data, a @ b)
+
+    def test_accumulation_and_shift(self, rng):
+        a = rng.integers(0, 2, (8, 128))
+        b = rng.integers(0, 2, (128, 8))
+        pa = pack_matrix(a, 1, layout="col")
+        pb = pack_matrix(b, 1, layout="row")
+        a_frag = load_matrix_sync("matrix_a", pa.plane(0), 0, 0)
+        b_frag = load_matrix_sync("matrix_b", pb.plane(0), 0, 0)
+        c_frag = make_fragment("accumulator")
+        bmma_sync(c_frag, a_frag, b_frag, shift=0)
+        bmma_sync(c_frag, a_frag, b_frag, shift=2)
+        np.testing.assert_array_equal(c_frag.data, (a @ b) * 5)  # 1 + 4
+
+    def test_counts_mma_ops(self, rng):
+        pa = pack_matrix(rng.integers(0, 2, (8, 128)), 1, layout="col")
+        pb = pack_matrix(rng.integers(0, 2, (128, 8)), 1, layout="row")
+        c = KernelCounters()
+        bmma_sync(
+            make_fragment("accumulator"),
+            load_matrix_sync("matrix_a", pa.plane(0), 0, 0),
+            load_matrix_sync("matrix_b", pb.plane(0), 0, 0),
+            counters=c,
+        )
+        assert c.mma_ops == 1
+
+    def test_role_checks(self):
+        with pytest.raises(ShapeError):
+            bmma_sync(
+                make_fragment("accumulator"),
+                make_fragment("matrix_b"),
+                make_fragment("matrix_b"),
+            )
+        with pytest.raises(ShapeError):
+            bmma_sync(
+                make_fragment("matrix_a"),
+                make_fragment("matrix_a"),
+                make_fragment("matrix_b"),
+            )

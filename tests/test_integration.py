@@ -1,0 +1,119 @@
+"""End-to-end integration tests: the full QGTC pipeline on one small graph.
+
+Everything at once — generate → partition → batch → pack → quantized
+forward on the emulated TC → cost model → compare against fp32 reference
+and the DGL baseline — asserting the cross-module contracts that unit
+tests cannot see.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import dgl_epoch_report
+from repro.gnn import (
+    QATConfig,
+    make_batched_gin,
+    make_cluster_gcn,
+    quantized_forward,
+    reference_forward,
+    train_qgnn,
+)
+from repro.graph import batch_subgraphs, induced_subgraphs, planted_partition_graph
+from repro.partition import partition_graph
+from repro.runtime import QGTCRunConfig, profile_batches, qgtc_epoch_report
+from repro.tc import TCCostModel
+from repro.tc.kernel import KernelConfig
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    graph = planted_partition_graph(
+        600,
+        4200,
+        num_communities=12,
+        feature_dim=10,
+        num_classes=3,
+        rng=np.random.default_rng(99),
+    )
+    partition = partition_graph(graph, 12, method="metis")
+    subgraphs = induced_subgraphs(graph, partition.assignment)
+    return graph, partition, subgraphs
+
+
+class TestFullPipeline:
+    def test_partition_feeds_batching_exactly(self, pipeline):
+        graph, partition, subgraphs = pipeline
+        assert len(subgraphs) == partition.num_parts
+        assert sum(s.num_nodes for s in subgraphs) == graph.num_nodes
+
+    def test_functional_epoch_over_all_batches(self, pipeline):
+        graph, _, subgraphs = pipeline
+        model = make_cluster_gcn(graph.feature_dim, graph.num_classes)
+        total_nodes = 0
+        for batch in batch_subgraphs(subgraphs, 4):
+            ref = reference_forward(model, batch)
+            out = quantized_forward(model, batch, feature_bits=8)
+            rel = np.abs(out.logits - ref).mean() / (np.abs(ref).mean() + 1e-12)
+            assert rel < 0.08
+            total_nodes += batch.num_nodes
+        assert total_nodes == graph.num_nodes
+
+    def test_counters_flow_into_cost_model(self, pipeline):
+        graph, _, subgraphs = pipeline
+        model = make_cluster_gcn(graph.feature_dim, graph.num_classes)
+        batch = next(batch_subgraphs(subgraphs, 4))
+        out = quantized_forward(model, batch, feature_bits=4)
+        cost = TCCostModel()
+        total = sum(cost.kernel_time(c).total_s for c in out.counters)
+        assert total > 0
+
+    def test_modeled_epoch_matches_functional_kernel_counts(self, pipeline):
+        # The analytic executor must charge exactly the kernels the
+        # functional path launches (same config, same batches).
+        graph, _, subgraphs = pipeline
+        model = make_cluster_gcn(graph.feature_dim, graph.num_classes)
+        profiles = profile_batches(subgraphs, 4)
+        report = qgtc_epoch_report(
+            profiles, model, QGTCRunConfig(feature_bits=4)
+        )
+        functional_mma = 0
+        for batch in batch_subgraphs(subgraphs, 4):
+            out = quantized_forward(
+                model, batch, feature_bits=4, kernel_config=KernelConfig()
+            )
+            functional_mma += out.total_counters.mma_ops
+        assert report.mma_ops == functional_mma
+
+    def test_dgl_vs_qgtc_on_same_profiles(self, pipeline):
+        graph, _, subgraphs = pipeline
+        profiles = profile_batches(subgraphs, 1)
+        for make in (make_cluster_gcn, make_batched_gin):
+            model = make(graph.feature_dim, graph.num_classes)
+            dgl = dgl_epoch_report(profiles, model)
+            q2 = qgtc_epoch_report(profiles, model, QGTCRunConfig(feature_bits=2))
+            q32 = qgtc_epoch_report(profiles, model, QGTCRunConfig(feature_bits=32))
+            assert dgl.total_s() > q2.total_s()
+            assert q32.total_s() > q2.total_s()
+
+    def test_qat_then_quantized_inference(self, pipeline):
+        # Train with QAT, then run the trained weights through the TC path.
+        graph, _, subgraphs = pipeline
+        result = train_qgnn(graph, QATConfig(bits=8, epochs=30, hidden_dim=16))
+        assert result.test_accuracy > 0.4
+        from repro.gnn.models import GNNModel
+
+        model = GNNModel(
+            kind="gcn",
+            weights=[w.astype(np.float32) for w in result.weights],
+            biases=[
+                np.zeros(result.weights[0].shape[1], np.float32),
+                np.zeros(result.weights[1].shape[1], np.float32),
+            ],
+        )
+        batch = next(batch_subgraphs(subgraphs, 4))
+        out = quantized_forward(model, batch, feature_bits=8)
+        ref = reference_forward(model, batch)
+        agree = (out.logits.argmax(1) == ref.argmax(1)).mean()
+        assert agree > 0.9
