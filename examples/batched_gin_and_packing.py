@@ -15,10 +15,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.frontend import BitGraphConv, CompoundSubgraphBuffer
-from repro.gnn import make_batched_gin, quantized_forward, reference_forward
+from repro.gnn import make_batched_gin, reference_forward
 from repro.graph import batch_subgraphs, induced_subgraphs, load_dataset
 from repro.partition import partition_graph
 from repro.runtime import batch_transfer_time
+from repro.serving import InferenceEngine, ServingConfig
 from repro.tc.hardware import RTX3090
 
 
@@ -33,10 +34,13 @@ def main() -> None:
     # ---------------- Batched GIN: update -> aggregate ------------------- #
     model = make_batched_gin(graph.feature_dim, graph.num_classes)
     reference = reference_forward(model, batch)
-    quantized = quantized_forward(model, batch, feature_bits=8)
-    err = np.abs(quantized.logits - reference).mean() / np.abs(reference).mean()
-    print(f"GIN 8-bit TC forward: relative error {err:.5f} vs fp32, "
-          f"{quantized.total_counters.mma_ops} bmma issued")
+    engine = InferenceEngine(model, ServingConfig(feature_bits=8, batch_size=6))
+    results = engine.infer(batch.members)
+    logits = np.concatenate([r.logits for r in results])
+    err = np.abs(logits - reference).mean() / np.abs(reference).mean()
+    print(f"GIN 8-bit served forward: relative error {err:.5f} vs fp32, "
+          f"{engine.stats.mma_ops} bmma issued in "
+          f"{engine.stats.batches} coalesced batch(es)")
 
     # ---------------- A single QGTC layer as a module --------------------- #
     weight = np.random.default_rng(1).normal(size=(graph.feature_dim, 16))

@@ -6,8 +6,9 @@ subgraphs, and run a 3-layer GCN per batch.  This example runs the real
 *functional* pipeline on a scaled Proteins stand-in:
 
 * partitions with the METIS-like multilevel partitioner,
-* executes the fp32 reference forward and the quantized bit-GEMM forward
-  at several bitwidths, comparing outputs,
+* serves the subgraphs through an :class:`~repro.serving.InferenceEngine`
+  session at several bitwidths — packed weights cached, requests
+  coalesced — comparing outputs against the fp32 reference,
 * models the end-to-end epoch latency against the DGL-like baseline.
 
 Run:  python examples/cluster_gcn_inference.py
@@ -18,10 +19,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines import dgl_epoch_report
-from repro.gnn import make_cluster_gcn, quantized_forward, reference_forward
+from repro.gnn import make_cluster_gcn, reference_forward
 from repro.graph import batch_subgraphs, induced_subgraphs, load_dataset
 from repro.partition import partition_graph
 from repro.runtime import QGTCRunConfig, profile_batches, qgtc_epoch_report
+from repro.serving import InferenceEngine, ServingConfig
 
 
 def main() -> None:
@@ -40,16 +42,20 @@ def main() -> None:
     subgraphs = induced_subgraphs(graph, result.assignment)
     model = make_cluster_gcn(graph.feature_dim, graph.num_classes)
 
-    # ---------------- functional forward: fp32 vs quantized -------------- #
-    batch = next(batch_subgraphs(subgraphs, 8))
+    # ---------------- served forward: fp32 vs quantized ------------------ #
+    requests = subgraphs[:8]
+    batch = next(batch_subgraphs(requests, 8))
     reference = reference_forward(model, batch)
-    print(f"\nfunctional check on one {batch.num_nodes}-node batch:")
+    print(f"\nserved check on {len(requests)} requests ({batch.num_nodes} nodes):")
     for bits in (2, 4, 8, 16):
-        out = quantized_forward(model, batch, feature_bits=bits)
-        err = np.abs(out.logits - reference).mean() / (np.abs(reference).mean())
-        agree = float((out.logits.argmax(1) == reference.argmax(1)).mean())
-        print(f"  {bits:2d}-bit TC path: rel. error {err:8.5f}, "
-              f"prediction agreement {100 * agree:5.1f}%")
+        engine = InferenceEngine(model, ServingConfig(feature_bits=bits))
+        results = engine.infer(requests)
+        out = np.concatenate([r.logits for r in results])
+        err = np.abs(out - reference).mean() / (np.abs(reference).mean())
+        agree = float((out.argmax(1) == reference.argmax(1)).mean())
+        print(f"  {bits:2d}-bit served: rel. error {err:8.5f}, "
+              f"prediction agreement {100 * agree:5.1f}%, "
+              f"{engine.stats.batches} coalesced batch(es)")
 
     # ---------------- modeled end-to-end epoch --------------------------- #
     profiles = profile_batches(subgraphs, batch_size=1)

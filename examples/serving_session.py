@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Serve a stream of subgraph inference requests through a warm session.
+
+The production story the serving subsystem adds on top of the paper's
+experiment scripts: quantize and bit-pack the model weights *once*, keep
+the packed planes in an LRU cache, coalesce incoming requests into
+batched-GIN rounds, and route every bit-GEMM through the cost-model
+dispatcher.  Compares steady-state session throughput against the cold
+one-shot path (which re-packs weights per request) and prints session
+telemetry: cache hit rate, batch occupancy, measured wall-clock and
+modeled RTX 3090 device time.
+
+Run:  python examples/serving_session.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.gnn import make_batched_gin, quantized_forward
+from repro.graph import batch_subgraphs, induced_subgraphs, load_dataset
+from repro.partition import partition_graph
+from repro.serving import InferenceEngine, ServingConfig
+
+
+def main() -> None:
+    graph = load_dataset("PPI", scale=0.02)
+    result = partition_graph(graph, 48, method="metis")
+    subgraphs = induced_subgraphs(graph, result.assignment)
+    model = make_batched_gin(graph.feature_dim, graph.num_classes)
+    print(f"workload: {len(subgraphs)} subgraph requests from {graph.name}, "
+          f"3-layer batched GIN, 8-bit")
+
+    # ---------------- cold path: the pre-serving scripts ------------------ #
+    singles = [next(batch_subgraphs([s], 1)) for s in subgraphs]
+    start = time.perf_counter()
+    for single in singles:
+        quantized_forward(model, single, feature_bits=8)
+    cold_s = time.perf_counter() - start
+    print(f"\ncold one-shot path : {len(subgraphs) / cold_s:7.1f} req/s "
+          f"(re-quantizes + re-packs weights per request)")
+
+    # ---------------- warm serving session -------------------------------- #
+    engine = InferenceEngine(
+        model, ServingConfig(feature_bits=8, batch_size=8)
+    ).warm_up()
+    engine.infer(subgraphs)  # first pass: calibrates activations
+    start = time.perf_counter()
+    results = list(engine.stream(iter(subgraphs)))  # steady state
+    warm_s = time.perf_counter() - start
+    print(f"warm serving session: {len(results) / warm_s:7.1f} req/s "
+          f"({cold_s / warm_s:.1f}x) — packed planes cached, "
+          f"requests coalesced, cost-model dispatch")
+
+    # ---------------- session telemetry ----------------------------------- #
+    stats = engine.stats
+    print(f"\nsession telemetry after {stats.requests} requests:")
+    print(f"  weight cache      : {stats.weight_cache.hits} hits / "
+          f"{stats.weight_cache.misses} misses "
+          f"({100 * stats.weight_cache.hit_rate:.1f}% hit rate, "
+          f"{engine.weight_cache.nbytes} B packed planes held)")
+    print(f"  batch occupancy   : {stats.mean_batch_occupancy:.1f} "
+          f"requests/round over {stats.batches} rounds")
+    print(f"  bmma issued       : {stats.mma_ops}")
+    print(f"  measured host time: {stats.wall_s * 1e3:.1f} ms")
+    print(f"  modeled RTX 3090  : {engine.device_report.total_ms():.3f} ms "
+          f"(the emulated-device cost of the same rounds)")
+
+    # Per-request results come back in submission order, one logit row per
+    # node; downstream consumers never see batching.
+    mean_conf = np.mean([r.logits.max(axis=1).mean() for r in results])
+    print(f"  {len(results)} results, mean top-logit {mean_conf:.3f}")
+
+
+if __name__ == "__main__":
+    main()

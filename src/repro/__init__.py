@@ -17,6 +17,8 @@ Tensor Core* (Wang, Feng, Ding — PPoPP 2022) as a pure-Python library:
   packing, inter-layer fusion, end-to-end executor.
 * :mod:`repro.baselines` — DGL-like fp32, cuBLAS-int8 and CUTLASS-int4
   execution models.
+* :mod:`repro.serving` — session-based inference serving: packed-weight
+  LRU caching, request coalescing, cost-model engine dispatch.
 * :mod:`repro.experiments` — one harness per paper table/figure.
 
 Quickstart::

@@ -4,6 +4,8 @@ bit-GEMM, and the bit-Tensor API (paper §3 and §5)."""
 from .api import bit_mm_to_bit, bit_mm_to_int, bitMM2Bit, bitMM2Int
 from .bitdecomp import bit_compose, bit_decompose, required_bits
 from .bitgemm import (
+    Engine,
+    EngineSelector,
     bitgemm,
     bitgemm_codes,
     bitgemm_planes,
@@ -42,6 +44,8 @@ __all__ = [
     "TC_M",
     "TC_N",
     "BitTensor",
+    "Engine",
+    "EngineSelector",
     "PackedBits",
     "QuantConfig",
     "QuantParams",

@@ -12,6 +12,12 @@ QGTC's PyTorch extension exposes two GEMM entry points:
 We reproduce both with NumPy in/out, returning results instead of writing
 into a preallocated ``C`` (the CUDA calling convention does not translate to
 NumPy idiom; the arithmetic is identical).
+
+Every entry point takes an ``engine`` argument: one of the literal names
+``"auto"``/``"packed"``/``"blas"`` or an
+:data:`~repro.core.bitgemm.EngineSelector` callable that picks the engine
+per product from the GEMM shape — the hook the serving layer
+(:mod:`repro.serving`) uses to dispatch requests through its cost model.
 """
 
 from __future__ import annotations
@@ -19,10 +25,17 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import BitwidthError, ShapeError
-from .bitgemm import Engine, bitgemm
+from .bitgemm import Engine, EngineSelector, bitgemm
 from .bittensor import BitTensor, requantize_codes, to_bit
 
-__all__ = ["bit_mm_to_int", "bit_mm_to_bit", "bitMM2Int", "bitMM2Bit"]
+__all__ = [
+    "Engine",
+    "EngineSelector",
+    "bit_mm_to_int",
+    "bit_mm_to_bit",
+    "bitMM2Int",
+    "bitMM2Bit",
+]
 
 
 def _check_operands(a: BitTensor, b: BitTensor) -> None:

@@ -20,13 +20,19 @@ Each 1-bit GEMM is an AND + popcount over the packed K dimension
 
 Both are tested against each other and against an int64 reference.
 
+Engine selection is pluggable: every ``engine=`` parameter accepts the
+literal names above *or* an :data:`EngineSelector` — a callable
+``(m, k, n, bits_a, bits_b) -> "packed" | "blas"`` — so callers such as the
+serving dispatcher (:mod:`repro.serving.dispatch`) can pick the engine per
+product from a cost model instead of the built-in size threshold.
+
 Scalar- and vector-level decomposed products (Eq. 5/6 verbatim) are included
 as executable documentation; the test-suite uses them as independent oracles.
 """
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Callable, Literal, Union
 
 import numpy as np
 
@@ -36,6 +42,8 @@ from .bitops import and_popcount
 from .bitpack import PackedBits, pack_matrix
 
 __all__ = [
+    "Engine",
+    "EngineSelector",
     "scalar_mul_decomposed",
     "vector_dot_decomposed",
     "bmm_plane_packed",
@@ -46,7 +54,10 @@ __all__ = [
     "matmul_int_reference",
 ]
 
-Engine = Literal["auto", "packed", "blas"]
+EngineName = Literal["auto", "packed", "blas"]
+#: A pluggable engine chooser: ``(m, k, n, bits_a, bits_b) -> engine name``.
+EngineSelector = Callable[[int, int, int, int, int], str]
+Engine = Union[EngineName, EngineSelector]
 
 #: Row-block size of the packed engine; caps the broadcast temporary at
 #: roughly ``block * N * k_words * 4`` bytes.
@@ -149,12 +160,22 @@ def bmm_plane_blas(a_plane: np.ndarray, b_plane: np.ndarray) -> np.ndarray:
     return (a.astype(np.float32) @ b.astype(np.float32).T).astype(np.int64)
 
 
-def _select_engine(engine: Engine, out_elems: int) -> str:
+def _select_engine(
+    engine: Engine, a_packed: PackedBits, b_packed: PackedBits
+) -> str:
+    m, n = a_packed.logical_vectors, b_packed.logical_vectors
+    if callable(engine):
+        chosen = engine(m, a_packed.logical_k, n, a_packed.bits, b_packed.bits)
+        if chosen not in ("packed", "blas"):
+            raise ShapeError(
+                f"engine selector returned {chosen!r}; expected 'packed' or 'blas'"
+            )
+        return chosen
     if engine not in ("auto", "packed", "blas"):
         raise ShapeError(f"unknown engine {engine!r}")
     if engine != "auto":
         return engine
-    return "blas" if out_elems >= _AUTO_BLAS_THRESHOLD else "packed"
+    return "blas" if m * n >= _AUTO_BLAS_THRESHOLD else "packed"
 
 
 def bitgemm_planes(
@@ -179,7 +200,7 @@ def bitgemm_planes(
             f"B has K={b_packed.logical_k}"
         )
     m, n = a_packed.logical_vectors, b_packed.logical_vectors
-    chosen = _select_engine(engine, m * n)
+    chosen = _select_engine(engine, a_packed, b_packed)
     out = np.empty((a_packed.bits, b_packed.bits, m, n), dtype=np.int64)
     if chosen == "packed":
         for i in range(a_packed.bits):

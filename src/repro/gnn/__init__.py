@@ -15,7 +15,10 @@ from .activations import (
 )
 from .models import GNNModel, LayerSpec, make_batched_gin, make_cluster_gcn
 from .quantized import (
+    ActivationCalibration,
+    PackedLayerWeight,
     QuantizedForwardResult,
+    pack_layer_weight,
     quantize_model_weights,
     quantized_forward,
 )
@@ -23,9 +26,11 @@ from .reference import reference_forward, reference_forward_dense
 from .training import QATConfig, TrainResult, fake_quantize, train_qgnn
 
 __all__ = [
+    "ActivationCalibration",
     "BatchNormParams",
     "GNNModel",
     "LayerSpec",
+    "PackedLayerWeight",
     "QATConfig",
     "QuantizedForwardResult",
     "TrainResult",
@@ -37,6 +42,7 @@ __all__ = [
     "log_softmax",
     "make_batched_gin",
     "make_cluster_gcn",
+    "pack_layer_weight",
     "quantize_model_weights",
     "quantized_forward",
     "reference_forward",

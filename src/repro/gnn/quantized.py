@@ -19,24 +19,50 @@ tensors,
 where ``r_a`` is the row-sum vector of ``q_a`` and ``g_b`` the column-sum
 of ``q_b`` — rank-1 epilogue terms the fused kernel absorbs (paper §4.5).
 Only the ``q_a q_b`` term touches the Tensor Core.
+
+Serving hooks
+-------------
+Two ingredients of the forward pass are invariant across requests and are
+exposed so a session (:mod:`repro.serving`) can build them once and reuse
+them:
+
+* :class:`PackedLayerWeight` — a layer's weight matrix quantized,
+  bit-packed row-wise, with its affine column-sum epilogue precomputed.
+  :func:`pack_layer_weight` builds one; ``packed_weights=`` feeds them in.
+* :class:`ActivationCalibration` — per-site activation quantization
+  parameters frozen on first touch.  With a shared calibration, a batched
+  forward and the equivalent per-request forwards produce *bit-identical*
+  logits (the block-diagonal adjacency keeps members independent, so the
+  only coupling is through calibration — which freezing removes).
+
+When neither is supplied the behavior is the original one-shot path:
+weights are re-quantized per call and activations calibrate per tensor.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.bitpack import pack_matrix
-from ..core.quantization import QuantParams, quantize
-from ..errors import BitwidthError, ShapeError
+from ..core.bitgemm import Engine
+from ..core.bitpack import PackedBits, pack_matrix
+from ..core.quantization import QuantParams, calibrate, quantize
+from ..errors import BitwidthError, ConfigError, ShapeError
 from ..graph.batching import SubgraphBatch
 from ..tc.counters import KernelCounters
 from ..tc.kernel import BitGemmKernel, KernelConfig
 from .activations import relu, softmax
 from .models import GNNModel
 
-__all__ = ["QuantizedForwardResult", "quantized_forward", "quantize_model_weights"]
+__all__ = [
+    "ActivationCalibration",
+    "PackedLayerWeight",
+    "QuantizedForwardResult",
+    "pack_layer_weight",
+    "quantize_model_weights",
+    "quantized_forward",
+]
 
 
 @dataclass(frozen=True)
@@ -59,13 +85,94 @@ def _mid_offset(params: QuantParams) -> float:
     return params.alpha_min + params.scale / 2.0
 
 
+@dataclass(frozen=True)
+class PackedLayerWeight:
+    """One layer's weights, quantized and bit-packed once per session.
+
+    The paper pre-computes and caches the weight bit-decomposition because
+    the same ``W`` serves every subgraph at a layer (§3.2 last paragraph).
+    Bundles everything the update GEMM needs from the right operand:
+
+    Attributes
+    ----------
+    packed:
+        Row-wise compressed bit planes of the quantized codes — the
+        kernel's right operand, built once instead of per request.
+    params:
+        Affine parameters of the weight quantization.
+    col_sums:
+        ``(1, out_dim)`` column sums of the integer codes — the rank-1
+        affine epilogue term, also request-invariant.
+    """
+
+    packed: PackedBits
+    params: QuantParams
+    col_sums: np.ndarray
+
+    @property
+    def bits(self) -> int:
+        return self.params.bits
+
+    @property
+    def nbytes(self) -> int:
+        """Packed plane storage (what a serving cache budgets)."""
+        return self.packed.nbytes + self.col_sums.nbytes
+
+
+def pack_layer_weight(weight: np.ndarray, bits: int) -> PackedLayerWeight:
+    """Quantize and row-pack one weight matrix for reuse across requests."""
+    if not 1 <= bits <= 32:
+        raise BitwidthError(f"weight bits must be in [1, 32], got {bits}")
+    qw, pw = quantize(weight, bits=bits)
+    return PackedLayerWeight(
+        packed=pack_matrix(qw, bits, layout="row"),
+        params=pw,
+        col_sums=qw.sum(axis=0, dtype=np.float64)[None, :],
+    )
+
+
+class ActivationCalibration:
+    """Activation quantization parameters, frozen per site on first touch.
+
+    A *site* identifies one quantize call in the forward pass (e.g.
+    ``"L0/agg"`` — layer 0's aggregation input).  The first tensor seen at a
+    site calibrates its :class:`~repro.core.quantization.QuantParams`; every
+    later tensor reuses them, i.e. static post-calibration quantization.
+    Sessions share one instance so results are reproducible across batch
+    shapes.
+    """
+
+    def __init__(self) -> None:
+        self._sites: dict[tuple[str, int], QuantParams] = {}
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    @property
+    def sites(self) -> dict[tuple[str, int], QuantParams]:
+        """Read-only view of the calibrated ``(site, bits) -> params`` map."""
+        return dict(self._sites)
+
+    def quantize(
+        self, site: str, values: np.ndarray, bits: int
+    ) -> tuple[np.ndarray, QuantParams]:
+        """Quantize ``values`` with this site's frozen parameters."""
+        key = (site, bits)
+        params = self._sites.get(key)
+        if params is None:
+            params = calibrate(values, bits)
+            self._sites[key] = params
+        codes, _ = quantize(values, params)
+        return codes, params
+
+
 def quantize_model_weights(
     model: GNNModel, bits: int
 ) -> list[tuple[np.ndarray, QuantParams]]:
     """Quantize every layer's weights once (cached across subgraphs).
 
-    The paper pre-computes and caches the weight bit-decomposition because
-    the same W serves every subgraph at a layer (§3.2 last paragraph).
+    The raw ``(codes, params)`` form; :func:`pack_layer_weight` is the
+    packed form a serving session caches.
     """
     if not 1 <= bits <= 32:
         raise BitwidthError(f"weight bits must be in [1, 32], got {bits}")
@@ -75,27 +182,27 @@ def quantize_model_weights(
 def _affine_product(
     q_left: np.ndarray,
     p_left: QuantParams,
-    q_right: np.ndarray,
-    p_right: QuantParams,
+    weight: PackedLayerWeight,
     kernel: BitGemmKernel,
     counters: list[KernelCounters],
+    engine: Engine,
 ) -> np.ndarray:
-    """Full affine-corrected product of two quantized matrices."""
+    """Full affine-corrected product of a quantized matrix and a packed weight."""
     k = q_left.shape[1]
-    if q_right.shape[0] != k:
-        raise ShapeError(f"inner dims differ: {q_left.shape} x {q_right.shape}")
+    if weight.packed.logical_k != k:
+        raise ShapeError(
+            f"inner dims differ: {q_left.shape} x {weight.packed.logical_shape}"
+        )
     packed_l = pack_matrix(q_left, p_left.bits, layout="col")
-    packed_r = pack_matrix(q_right, p_right.bits, layout="row")
-    res = kernel.run(packed_l, packed_r)
+    res = kernel.run(packed_l, weight.packed, engine=engine)
     counters.append(res.counters)
     s_l, c_l = p_left.scale, _mid_offset(p_left)
-    s_r, c_r = p_right.scale, _mid_offset(p_right)
+    s_r, c_r = weight.params.scale, _mid_offset(weight.params)
     row_sums = q_left.sum(axis=1, dtype=np.float64)[:, None]
-    col_sums = q_right.sum(axis=0, dtype=np.float64)[None, :]
     return (
         s_l * s_r * res.output
         + s_l * c_r * row_sums
-        + c_l * s_r * col_sums
+        + c_l * s_r * weight.col_sums
         + k * c_l * c_r
     ).astype(np.float64)
 
@@ -108,6 +215,9 @@ def quantized_forward(
     weight_bits: int | None = None,
     kernel_config: KernelConfig | None = None,
     apply_softmax: bool = False,
+    packed_weights: list[PackedLayerWeight] | None = None,
+    calibration: ActivationCalibration | None = None,
+    engine: Engine = "auto",
 ) -> QuantizedForwardResult:
     """Run a quantized forward pass over one subgraph batch.
 
@@ -118,6 +228,16 @@ def quantized_forward(
         setting, as in the paper's sweeps).
     kernel_config:
         Zero-tile jumping and reuse switches for the emulated kernel.
+    packed_weights:
+        Pre-packed per-layer weights (see :func:`pack_layer_weight`) —
+        supplied by a serving session so packing happens once, not per
+        request.  ``weight_bits`` is ignored when given.
+    calibration:
+        Shared :class:`ActivationCalibration`; omit for the one-shot
+        per-tensor calibration behavior.
+    engine:
+        Bit-GEMM engine name or per-product selector, forwarded to every
+        kernel launch.
 
     Returns the float logits (full-precision output layer, paper §4.5) and
     the per-kernel event counters.
@@ -128,34 +248,44 @@ def quantized_forward(
     kernel = BitGemmKernel(kernel_config or KernelConfig())
     counters: list[KernelCounters] = []
 
+    if packed_weights is None:
+        packed_weights = [pack_layer_weight(w, weight_bits) for w in model.weights]
+    elif len(packed_weights) != model.num_layers:
+        raise ConfigError(
+            f"expected {model.num_layers} packed weights, got {len(packed_weights)}"
+        )
+
     adjacency = batch.dense_adjacency(self_loops=True).astype(np.int64)
     packed_adj = pack_matrix(adjacency, 1, layout="col")
     degrees = adjacency.sum(axis=1, dtype=np.float64)[:, None]
-    weight_q = quantize_model_weights(model, weight_bits)
 
     h = batch.features().astype(np.float64)
 
-    def aggregate(x_real: np.ndarray) -> np.ndarray:
+    def quantize_at(site: str, x_real: np.ndarray) -> tuple[np.ndarray, QuantParams]:
+        if calibration is None:
+            return quantize(x_real, bits=feature_bits)
+        return calibration.quantize(site, x_real, feature_bits)
+
+    def aggregate(x_real: np.ndarray, layer: int) -> np.ndarray:
         """``Â @ x`` with the adjacency exact (1-bit) and x quantized."""
-        qx, px = quantize(x_real, bits=feature_bits)
+        qx, px = quantize_at(f"L{layer}/agg", x_real)
         packed_x = pack_matrix(qx, feature_bits, layout="row")
-        res = kernel.run(packed_adj, packed_x)
+        res = kernel.run(packed_adj, packed_x, engine=engine)
         counters.append(res.counters)
         # Â is exact binary: real = s_x * (Â q_x) + c_x * degree.
         return px.scale * res.output + _mid_offset(px) * degrees
 
     def update(x_real: np.ndarray, layer: int) -> np.ndarray:
         """``x @ W + b`` with both operands quantized."""
-        qx, px = quantize(x_real, bits=feature_bits)
-        qw, pw = weight_q[layer]
-        out = _affine_product(qx, px, qw, pw, kernel, counters)
+        qx, px = quantize_at(f"L{layer}/upd", x_real)
+        out = _affine_product(qx, px, packed_weights[layer], kernel, counters, engine)
         return out + model.biases[layer]
 
     for i, spec in enumerate(model.layer_specs()):
         if model.aggregate_first:
-            h = update(aggregate(h), i)
+            h = update(aggregate(h, i), i)
         else:
-            h = aggregate(update(h, i))
+            h = aggregate(update(h, i), i)
         if not spec.is_output:
             h = relu(h)
 

@@ -20,7 +20,32 @@ from ..core.bitpack import PackedBits, pack_matrix
 from ..errors import PartitionError, ShapeError
 from .csr import CSRGraph
 
-__all__ = ["Subgraph", "SubgraphBatch", "induced_subgraphs", "batch_subgraphs"]
+__all__ = [
+    "Subgraph",
+    "SubgraphBatch",
+    "induced_subgraphs",
+    "batch_subgraphs",
+    "batch_subgraphs_by_nodes",
+    "round_full",
+]
+
+
+def round_full(
+    members: int, nodes: int, next_nodes: int, max_nodes: int, max_members: int | None
+) -> bool:
+    """The greedy coalescing rule: would adding the next subgraph overflow?
+
+    A round of ``members`` subgraphs totalling ``nodes`` nodes is full for
+    a ``next_nodes``-node candidate when the node budget or the member cap
+    would be exceeded.  An empty round is never full — an oversized single
+    subgraph still gets its own batch.  Shared by
+    :func:`batch_subgraphs_by_nodes` and the serving engine's stream
+    coalescing so the two can never drift apart.
+    """
+    return members > 0 and (
+        nodes + next_nodes > max_nodes
+        or (max_members is not None and members >= max_members)
+    )
 
 
 @dataclass(frozen=True)
@@ -159,3 +184,33 @@ def batch_subgraphs(
         raise PartitionError(f"batch_size must be >= 1, got {batch_size}")
     for start in range(0, len(subgraphs), batch_size):
         yield SubgraphBatch(members=tuple(subgraphs[start : start + batch_size]))
+
+
+def batch_subgraphs_by_nodes(
+    subgraphs: Sequence[Subgraph],
+    max_nodes: int,
+    *,
+    max_members: int | None = None,
+) -> Iterator[SubgraphBatch]:
+    """Greedy node-budget batching, order-preserving.
+
+    Packs consecutive subgraphs into a batch while the member count stays
+    within ``max_members`` and the total node count within ``max_nodes`` —
+    the coalescing rule the serving engine uses so a densified batch
+    adjacency never outgrows its ``O(n^2)`` budget.  A single subgraph
+    larger than the budget still gets its own batch (it cannot be split).
+    """
+    if max_nodes < 1:
+        raise PartitionError(f"max_nodes must be >= 1, got {max_nodes}")
+    if max_members is not None and max_members < 1:
+        raise PartitionError(f"max_members must be >= 1, got {max_members}")
+    pending: list[Subgraph] = []
+    nodes = 0
+    for sub in subgraphs:
+        if round_full(len(pending), nodes, sub.num_nodes, max_nodes, max_members):
+            yield SubgraphBatch(members=tuple(pending))
+            pending, nodes = [], 0
+        pending.append(sub)
+        nodes += sub.num_nodes
+    if pending:
+        yield SubgraphBatch(members=tuple(pending))

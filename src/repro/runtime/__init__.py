@@ -1,7 +1,12 @@
 """Runtime: PCIe transfer modeling, bandwidth-optimized subgraph packing,
 batch profiling, and the end-to-end QGTC epoch executor (paper §4.1/4.5/4.6)."""
 
-from .executor import QGTC_FRAMEWORK_OVERHEAD_S, QGTCRunConfig, qgtc_epoch_report
+from .executor import (
+    QGTC_FRAMEWORK_OVERHEAD_S,
+    QGTCRunConfig,
+    modeled_batch_report,
+    qgtc_epoch_report,
+)
 from .packing import BatchPayload, TransferMode, batch_payload, batch_transfer_time
 from .pcie import TransferEstimate, transfer_time
 from .profilebatch import BatchProfile, profile_batch, profile_batches
@@ -17,6 +22,7 @@ __all__ = [
     "TransferMode",
     "batch_payload",
     "batch_transfer_time",
+    "modeled_batch_report",
     "profile_batch",
     "profile_batches",
     "qgtc_epoch_report",

@@ -15,6 +15,13 @@ launch it, and convert it to modeled time:
 
 Calibrated per-batch framework overhead (Python dataloader + dispatch) is
 documented next to its constant.
+
+The unit of modeling is one batch: :func:`modeled_batch_report` converts a
+single :class:`~repro.runtime.profilebatch.BatchProfile` into an
+:class:`~repro.runtime.report.EpochReport`; :func:`qgtc_epoch_report`
+merges the per-batch reports over an epoch, and the serving engine
+(:mod:`repro.serving`) accumulates the same per-batch reports for the
+batches it actually executes.
 """
 
 from __future__ import annotations
@@ -32,7 +39,12 @@ from .packing import TransferMode, batch_transfer_time
 from .profilebatch import BatchProfile
 from .report import EpochReport
 
-__all__ = ["QGTCRunConfig", "qgtc_epoch_report"]
+__all__ = [
+    "QGTC_FRAMEWORK_OVERHEAD_S",
+    "QGTCRunConfig",
+    "modeled_batch_report",
+    "qgtc_epoch_report",
+]
 
 #: Per-batch host-side overhead of the QGTC PyTorch front-end (Python
 #: dataloader iteration + extension dispatch).  Calibrated so the
@@ -56,9 +68,13 @@ class QGTCRunConfig:
 
     def __post_init__(self) -> None:
         if not 1 <= self.feature_bits <= 32:
-            raise ConfigError(f"feature_bits must be in [1, 32]")
+            raise ConfigError(
+                f"feature_bits must be in [1, 32], got {self.feature_bits}"
+            )
         if self.weight_bits is not None and not 1 <= self.weight_bits <= 32:
-            raise ConfigError(f"weight_bits must be in [1, 32]")
+            raise ConfigError(
+                f"weight_bits must be in [1, 32], got {self.weight_bits}"
+            )
 
     @property
     def effective_weight_bits(self) -> int:
@@ -73,6 +89,82 @@ def _tiles(n: int, unit: int) -> int:
     return max(pad_to(n, unit) // unit, 1)
 
 
+def modeled_batch_report(
+    profile: BatchProfile,
+    model: GNNModel,
+    config: QGTCRunConfig,
+    device: DeviceSpec = RTX3090,
+    *,
+    dataset: str = "",
+    cost: TCCostModel | None = None,
+) -> EpochReport:
+    """Model one batch (all layers) as a single-batch :class:`EpochReport`.
+
+    The building block of :func:`qgtc_epoch_report`; also used by the
+    serving engine to attribute modeled device time to each executed batch.
+    Pass a pre-built ``cost`` model when calling in a loop.
+    """
+    cost = cost or TCCostModel(device)
+    fb = config.feature_bits
+    wb = config.effective_weight_bits
+    report = EpochReport(system=config.label, dataset=dataset)
+
+    n = profile.num_nodes
+    report.num_batches += 1
+    report.framework_s += config.framework_overhead_s
+    report.transfer_s += batch_transfer_time(
+        n, model.feature_dim, fb, device, mode=config.transfer_mode
+    ).seconds
+
+    jumping = config.kernel.zero_tile_jumping
+    agg_processed = [profile.nnz_tiles if jumping else profile.total_tiles]
+
+    for spec in model.layer_specs():
+        # Aggregation operates on the layer's input features for GCN
+        # (aggregate-first) and on its output features for GIN
+        # (update-first).
+        agg_dim = spec.in_dim if model.aggregate_first else spec.out_dim
+        agg_counters = derive_tile_counters(
+            mt=profile.mt,
+            kt=profile.kt,
+            nt=_tiles(agg_dim, TC_M),
+            bits_a=1,
+            bits_b=fb,
+            processed_per_plane=agg_processed,
+            jumping=jumping,
+            config=config.kernel,
+        )
+        upd_counters = derive_tile_counters(
+            mt=_tiles(n, TC_M),
+            kt=_tiles(spec.in_dim, TC_K),
+            nt=_tiles(spec.out_dim, TC_M),
+            bits_a=fb,
+            bits_b=wb,
+            processed_per_plane=[_tiles(n, TC_M) * _tiles(spec.in_dim, TC_K)] * fb,
+            jumping=False,
+            config=config.kernel,
+        )
+        for counters in (agg_counters, upd_counters):
+            t = cost.kernel_time(counters)
+            report.launch_s += t.launch_s
+            report.compute_s += t.compute_s if t.compute_s >= t.stream_s else 0.0
+            report.memory_s += t.stream_s if t.stream_s > t.compute_s else 0.0
+            report.reload_s += t.reload_s
+            report.mma_ops += counters.mma_ops
+            report.kernels += counters.launches
+
+        if not config.fused and not spec.is_output:
+            # Unfused epilogue: bias, activation, quantize/decompose —
+            # three streaming kernels over the layer output.
+            elem_bytes = 2 * n * spec.out_dim * 4
+            for _ in range(3):
+                report.elementwise_s += (
+                    device.kernel_launch_s + elem_bytes / device.effective_dram_bw
+                )
+                report.kernels += 1
+    return report
+
+
 def qgtc_epoch_report(
     profiles: Sequence[BatchProfile],
     model: GNNModel,
@@ -83,62 +175,11 @@ def qgtc_epoch_report(
 ) -> EpochReport:
     """Model one inference epoch (all batches, all layers)."""
     cost = TCCostModel(device)
-    fb = config.feature_bits
-    wb = config.effective_weight_bits
     report = EpochReport(system=config.label, dataset=dataset)
-
     for profile in profiles:
-        n = profile.num_nodes
-        report.num_batches += 1
-        report.framework_s += config.framework_overhead_s
-        report.transfer_s += batch_transfer_time(
-            n, model.feature_dim, fb, device, mode=config.transfer_mode
-        ).seconds
-
-        jumping = config.kernel.zero_tile_jumping
-        agg_processed = [profile.nnz_tiles if jumping else profile.total_tiles]
-
-        for spec in model.layer_specs():
-            # Aggregation operates on the layer's input features for GCN
-            # (aggregate-first) and on its output features for GIN
-            # (update-first).
-            agg_dim = spec.in_dim if model.aggregate_first else spec.out_dim
-            agg_counters = derive_tile_counters(
-                mt=profile.mt,
-                kt=profile.kt,
-                nt=_tiles(agg_dim, TC_M),
-                bits_a=1,
-                bits_b=fb,
-                processed_per_plane=agg_processed,
-                jumping=jumping,
-                config=config.kernel,
+        report.merge(
+            modeled_batch_report(
+                profile, model, config, device, dataset=dataset, cost=cost
             )
-            upd_counters = derive_tile_counters(
-                mt=_tiles(n, TC_M),
-                kt=_tiles(spec.in_dim, TC_K),
-                nt=_tiles(spec.out_dim, TC_M),
-                bits_a=fb,
-                bits_b=wb,
-                processed_per_plane=[_tiles(n, TC_M) * _tiles(spec.in_dim, TC_K)] * fb,
-                jumping=False,
-                config=config.kernel,
-            )
-            for counters in (agg_counters, upd_counters):
-                t = cost.kernel_time(counters)
-                report.launch_s += t.launch_s
-                report.compute_s += t.compute_s if t.compute_s >= t.stream_s else 0.0
-                report.memory_s += t.stream_s if t.stream_s > t.compute_s else 0.0
-                report.reload_s += t.reload_s
-                report.mma_ops += counters.mma_ops
-                report.kernels += counters.launches
-
-            if not config.fused and not spec.is_output:
-                # Unfused epilogue: bias, activation, quantize/decompose —
-                # three streaming kernels over the layer output.
-                elem_bytes = 2 * n * spec.out_dim * 4
-                for _ in range(3):
-                    report.elementwise_s += (
-                        device.kernel_launch_s + elem_bytes / device.effective_dram_bw
-                    )
-                    report.kernels += 1
+        )
     return report

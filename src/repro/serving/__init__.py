@@ -1,0 +1,37 @@
+"""Serving: session-based inference over the QGTC pipeline.
+
+The production-facing layer of the reproduction (PR 1 tentpole).  A
+:class:`~repro.serving.engine.InferenceEngine` session quantizes and
+bit-packs model weights once, caches the packed planes across requests
+(LRU, keyed on layer/bitwidth/engine), coalesces incoming subgraph
+requests into block-diagonal batched executions, and dispatches each
+bit-GEMM across the ``packed``/``blas`` host engines via the
+:mod:`repro.tc.costmodel`-priced dispatcher.
+
+This is the seam later scaling work (sharding, async execution,
+multi-backend) plugs into: everything above it speaks
+``Subgraph in, logits out``.
+"""
+
+from .cache import CacheStats, LRUCache, WeightCacheKey
+from .dispatch import CostModelDispatcher, DispatchDecision
+from .engine import (
+    InferenceEngine,
+    InferenceRequest,
+    InferenceResult,
+    ServingConfig,
+    SessionStats,
+)
+
+__all__ = [
+    "CacheStats",
+    "CostModelDispatcher",
+    "DispatchDecision",
+    "InferenceEngine",
+    "InferenceRequest",
+    "InferenceResult",
+    "LRUCache",
+    "ServingConfig",
+    "SessionStats",
+    "WeightCacheKey",
+]

@@ -1,0 +1,112 @@
+"""Cost-model-driven engine dispatch for serving requests.
+
+The functional bit-GEMM has two host engines
+(:mod:`repro.core.bitgemm`): ``"packed"`` (word-at-a-time AND+popcount on
+the packed planes) and ``"blas"`` (unpack to float32, one BLAS matmul per
+plane pair).  The built-in ``"auto"`` rule is a fixed output-size
+threshold; a serving session instead asks :class:`CostModelDispatcher`,
+which prices each product from the kernel work measures of
+:class:`~repro.tc.costmodel.TCCostModel` (bmma count per §4's tiling)
+scaled by calibrated host rates:
+
+* both engines pay a per-plane-pair call overhead plus padded bit-FLOPs
+  divided by a sustained rate (the packed popcount path is several times
+  slower per FLOP than BLAS, measured on the shipped workloads);
+* the BLAS engine additionally pays to unpack the planes — and is vetoed
+  outright when its float32 plane temporaries
+  (``bits_a*M*K + bits_b*K*N`` floats) would exceed ``blas_bytes_budget``,
+  the regime where the packed engine's 32x denser operands win by not
+  thrashing memory.
+
+A dispatcher instance is a valid ``engine=`` argument anywhere
+:data:`~repro.core.bitgemm.Engine` is accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..tc.costmodel import MMA_FLOPS, TCCostModel
+from ..tc.hardware import RTX3090, DeviceSpec
+
+__all__ = ["DispatchDecision", "CostModelDispatcher"]
+
+
+@dataclass(frozen=True)
+class DispatchDecision:
+    """One priced dispatch: estimated host seconds per engine + the pick."""
+
+    engine: str
+    packed_s: float
+    blas_s: float
+    blas_bytes: int
+    #: True when blas was excluded by the memory budget, not by time.
+    memory_vetoed: bool
+
+
+class CostModelDispatcher:
+    """Pick ``"packed"`` or ``"blas"`` per product from modeled host cost.
+
+    Callable with the :data:`~repro.core.bitgemm.EngineSelector` signature
+    ``(m, k, n, bits_a, bits_b)``.  Rates are calibrated against the
+    pure-Python engines on the shipped benchmark workloads; they are host
+    throughputs of *this* process, unlike the device seconds of
+    :class:`~repro.tc.costmodel.TCCostModel` which price the emulated GPU.
+    """
+
+    #: Sustained effective bit-FLOP/s of the packed AND+popcount engine.
+    PACKED_FLOPS = 3.2e10
+    #: Sustained float32 BLAS FLOP/s on plane products.
+    BLAS_FLOPS = 5.5e10
+    #: Per plane-pair dispatch overhead (row-block loop, temporaries).
+    PACKED_PAIR_OVERHEAD_S = 60e-6
+    #: Per plane-pair BLAS call + epilogue overhead.
+    BLAS_PAIR_OVERHEAD_S = 25e-6
+    #: Plane unpack throughput (``np.unpackbits`` + float32 cast).
+    UNPACK_BYTES_PER_S = 2.5e9
+
+    def __init__(
+        self,
+        device: DeviceSpec = RTX3090,
+        *,
+        blas_bytes_budget: int = 512 * 1024 * 1024,
+    ) -> None:
+        if blas_bytes_budget < 1:
+            raise ConfigError(
+                f"blas_bytes_budget must be positive, got {blas_bytes_budget}"
+            )
+        self.cost = TCCostModel(device)
+        self.blas_bytes_budget = blas_bytes_budget
+
+    # ------------------------------------------------------------------ #
+    def decide(
+        self, m: int, k: int, n: int, bits_a: int, bits_b: int
+    ) -> DispatchDecision:
+        """Price both engines for an ``m x k x n`` product and choose."""
+        counters = self.cost.gemm_counters(m, k, n, bits_a, bits_b)
+        flops = counters.mma_ops * MMA_FLOPS  # padded work, all plane pairs
+        pairs = bits_a * bits_b
+
+        packed_s = pairs * self.PACKED_PAIR_OVERHEAD_S + flops / self.PACKED_FLOPS
+        blas_bytes = 4 * (bits_a * m * k + bits_b * k * n)
+        blas_s = (
+            pairs * self.BLAS_PAIR_OVERHEAD_S
+            + flops / self.BLAS_FLOPS
+            + blas_bytes / self.UNPACK_BYTES_PER_S
+        )
+        memory_vetoed = blas_bytes > self.blas_bytes_budget
+        if memory_vetoed or packed_s < blas_s:
+            engine = "packed"
+        else:
+            engine = "blas"
+        return DispatchDecision(
+            engine=engine,
+            packed_s=packed_s,
+            blas_s=blas_s,
+            blas_bytes=blas_bytes,
+            memory_vetoed=memory_vetoed,
+        )
+
+    def __call__(self, m: int, k: int, n: int, bits_a: int, bits_b: int) -> str:
+        return self.decide(m, k, n, bits_a, bits_b).engine

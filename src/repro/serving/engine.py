@@ -1,0 +1,385 @@
+"""Session-based inference engine: pack once, serve many (tentpole of PR 1).
+
+The paper's Figure 10 argument — bit-packed operands should be built once
+and reused — only pays off in a system that *keeps* them.  An
+:class:`InferenceEngine` is that system:
+
+* **Packed-weight caching** — every layer's weights are quantized and
+  bit-packed at most once per session and held in an LRU
+  (:class:`~repro.serving.cache.LRUCache`) keyed on
+  ``(layer, bitwidth, engine)``, so repeated traffic never re-packs.
+* **Request coalescing** — submitted subgraph requests are greedily packed
+  into block-diagonal :class:`~repro.graph.batching.SubgraphBatch` rounds
+  (Cluster-GCN / batched-GIN style, bounded by ``batch_size`` members and
+  ``max_batch_nodes`` nodes) and executed in one forward pass.
+* **Cost-model dispatch** — each bit-GEMM is routed to the ``packed`` or
+  ``blas`` host engine by a
+  :class:`~repro.serving.dispatch.CostModelDispatcher` priced from
+  :mod:`repro.tc.costmodel` work measures.
+
+Activation quantization parameters are frozen per site on first use
+(:class:`~repro.gnn.quantized.ActivationCalibration`), which makes results
+independent of how requests were coalesced: a batched execution and the
+equivalent per-request executions return bit-identical logits.
+
+Each executed batch is also priced on the emulated RTX 3090 via
+:func:`~repro.runtime.executor.modeled_batch_report`, so a session reports
+both measured host wall-clock and modeled device time.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..core.bitgemm import Engine
+from ..errors import ConfigError
+from ..gnn.models import GNNModel
+from ..gnn.quantized import (
+    ActivationCalibration,
+    PackedLayerWeight,
+    pack_layer_weight,
+    quantized_forward,
+)
+from ..graph.batching import (
+    Subgraph,
+    SubgraphBatch,
+    batch_subgraphs_by_nodes,
+    round_full,
+)
+from ..runtime.executor import QGTCRunConfig, modeled_batch_report
+from ..runtime.profilebatch import profile_batch
+from ..runtime.report import EpochReport
+from ..tc.costmodel import TCCostModel
+from ..tc.hardware import RTX3090, DeviceSpec
+from ..tc.kernel import KernelConfig
+from .cache import CacheStats, LRUCache, WeightCacheKey
+from .dispatch import CostModelDispatcher
+
+__all__ = [
+    "ServingConfig",
+    "InferenceRequest",
+    "InferenceResult",
+    "SessionStats",
+    "InferenceEngine",
+]
+
+_ENGINE_CHOICES = ("cost", "auto", "packed", "blas")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Session-wide execution policy of an :class:`InferenceEngine`."""
+
+    feature_bits: int = 4
+    #: Weight bitwidth; ``None`` follows ``feature_bits`` (paper sweeps).
+    weight_bits: int | None = None
+    #: Maximum subgraphs coalesced into one execution round.
+    batch_size: int = 8
+    #: Node budget of one round — caps the densified adjacency at
+    #: ``max_batch_nodes**2`` entries.
+    max_batch_nodes: int = 4096
+    #: LRU capacity (entries) of the packed-weight cache.
+    weight_cache_capacity: int = 32
+    #: ``"cost"`` routes each GEMM through the cost-model dispatcher;
+    #: the literal names force one host engine for the whole session.
+    engine: str = "cost"
+    kernel: KernelConfig = field(default_factory=KernelConfig)
+    device: DeviceSpec = RTX3090
+    apply_softmax: bool = False
+    #: Accumulate modeled device time per executed batch (small overhead).
+    track_device_time: bool = True
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.feature_bits <= 32:
+            raise ConfigError(
+                f"feature_bits must be in [1, 32], got {self.feature_bits}"
+            )
+        if self.weight_bits is not None and not 1 <= self.weight_bits <= 32:
+            raise ConfigError(
+                f"weight_bits must be in [1, 32], got {self.weight_bits}"
+            )
+        if self.batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.max_batch_nodes < 1:
+            raise ConfigError(
+                f"max_batch_nodes must be >= 1, got {self.max_batch_nodes}"
+            )
+        if self.engine not in _ENGINE_CHOICES:
+            raise ConfigError(
+                f"engine must be one of {_ENGINE_CHOICES}, got {self.engine!r}"
+            )
+
+    @property
+    def effective_weight_bits(self) -> int:
+        return self.weight_bits if self.weight_bits is not None else self.feature_bits
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One queued unit of work: a subgraph awaiting inference."""
+
+    request_id: int
+    subgraph: Subgraph
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """Per-request logits plus the execution round that produced them."""
+
+    request_id: int
+    #: Sequential id of the coalesced batch this request rode in.
+    batch_id: int
+    #: ``(num_nodes, num_classes)`` float logits for this request's nodes.
+    logits: np.ndarray
+
+
+@dataclass
+class SessionStats:
+    """Running totals of one serving session."""
+
+    requests: int = 0
+    batches: int = 0
+    nodes: int = 0
+    mma_ops: int = 0
+    kernel_launches: int = 0
+    #: Measured host seconds spent inside batch execution.
+    wall_s: float = 0.0
+    weight_cache: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def requests_per_s(self) -> float:
+        """Measured serving throughput (0 before any work)."""
+        if self.wall_s <= 0:
+            return 0.0
+        return self.requests / self.wall_s
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        """Average requests coalesced per executed batch."""
+        if not self.batches:
+            return 0.0
+        return self.requests / self.batches
+
+
+class InferenceEngine:
+    """A serving session over one model; see module docstring.
+
+    Typical use::
+
+        engine = InferenceEngine(model, ServingConfig(feature_bits=8))
+        engine.warm_up()                      # pack weights ahead of traffic
+        for result in engine.stream(subgraphs):
+            consume(result.logits)
+        print(engine.stats.requests_per_s, engine.stats.weight_cache.hit_rate)
+
+    Passing a shared ``calibration`` makes two sessions (e.g. a batched and
+    a per-request one) produce identical logits for identical requests.
+    """
+
+    def __init__(
+        self,
+        model: GNNModel,
+        config: ServingConfig | None = None,
+        *,
+        calibration: ActivationCalibration | None = None,
+    ) -> None:
+        self.model = model
+        self.config = config or ServingConfig()
+        self.calibration = calibration or ActivationCalibration()
+        self._weights: LRUCache[WeightCacheKey, PackedLayerWeight] = LRUCache(
+            self.config.weight_cache_capacity, size_of=lambda w: w.nbytes
+        )
+        self._engine: Engine
+        if self.config.engine == "cost":
+            self._engine = CostModelDispatcher(self.config.device)
+        else:
+            self._engine = self.config.engine
+        self._pending: deque[InferenceRequest] = deque()
+        self._next_request_id = 0
+        self._next_batch_id = 0
+        self.stats = SessionStats(weight_cache=self._weights.stats)
+        self._cost = TCCostModel(self.config.device)
+        self._run_config = QGTCRunConfig(
+            feature_bits=self.config.feature_bits,
+            weight_bits=self.config.effective_weight_bits,
+            kernel=self.config.kernel,
+        )
+        self.device_report = EpochReport(
+            system=f"serving:{self._run_config.label}", dataset="session"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Packed-weight cache
+    # ------------------------------------------------------------------ #
+    @property
+    def weight_cache(self) -> LRUCache[WeightCacheKey, PackedLayerWeight]:
+        """The session's packed-weight LRU (inspect stats, keys, bytes)."""
+        return self._weights
+
+    def _weight_key(self, layer: int) -> WeightCacheKey:
+        # Packed planes are engine-independent today; the engine dimension
+        # keeps the key stable for future backends with engine-specific
+        # operand layouts (and for caches shared across sessions).
+        return (layer, self.config.effective_weight_bits, self.config.engine)
+
+    def packed_weights(self) -> list[PackedLayerWeight]:
+        """Per-layer packed weights, built through the LRU cache.
+
+        The first call per session packs (misses); later calls hit unless
+        the LRU capacity is smaller than the layer count.
+        """
+        bits = self.config.effective_weight_bits
+        return [
+            self._weights.get_or_build(
+                self._weight_key(i), lambda w=w: pack_layer_weight(w, bits)
+            )
+            for i, w in enumerate(self.model.weights)
+        ]
+
+    def warm_up(self) -> "InferenceEngine":
+        """Pack all layer weights ahead of traffic; returns ``self``."""
+        self.packed_weights()
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Request intake
+    # ------------------------------------------------------------------ #
+    def _make_request(self, subgraph: Subgraph) -> InferenceRequest:
+        request = InferenceRequest(self._next_request_id, subgraph)
+        self._next_request_id += 1
+        return request
+
+    def submit(self, subgraph: Subgraph) -> InferenceRequest:
+        """Queue one subgraph; execution happens at the next flush."""
+        request = self._make_request(subgraph)
+        self._pending.append(request)
+        return request
+
+    @property
+    def pending(self) -> int:
+        """Requests queued but not yet executed."""
+        return len(self._pending)
+
+    def flush(self) -> list[InferenceResult]:
+        """Execute every pending request, coalesced; results in order."""
+        requests = list(self._pending)
+        self._pending.clear()
+        results: list[InferenceResult] = []
+        for group in self._coalesce(requests):
+            results.extend(self._execute(group))
+        return results
+
+    def infer(self, subgraphs: Iterable[Subgraph]) -> list[InferenceResult]:
+        """Submit the subgraphs and flush the whole queue in one call.
+
+        Equivalent to ``submit()`` for each plus :meth:`flush` — so any
+        requests already pending from earlier ``submit()`` calls execute in
+        the same flush and their results are included, first, in the
+        returned (submission-ordered) list.  Use :meth:`infer_one` for
+        queue-independent single requests.
+        """
+        for subgraph in subgraphs:
+            self.submit(subgraph)
+        return self.flush()
+
+    def infer_one(self, subgraph: Subgraph) -> InferenceResult:
+        """Serve a single subgraph immediately (no coalescing wait).
+
+        Bypasses the pending queue: previously submitted requests stay
+        queued for the next :meth:`flush` and are not executed here.
+        """
+        return self._execute([self._make_request(subgraph)])[0]
+
+    def stream(self, subgraphs: Iterable[Subgraph]) -> Iterator[InferenceResult]:
+        """Serve an arbitrarily long request stream, yielding as rounds fill.
+
+        Requests are buffered until a round is full (``batch_size`` members
+        or ``max_batch_nodes`` nodes), executed, and their results yielded
+        before more input is consumed — bounded memory for unbounded
+        streams.
+        """
+        buffer: list[InferenceRequest] = []
+        nodes = 0
+        for subgraph in subgraphs:
+            request = self._make_request(subgraph)
+            if round_full(
+                len(buffer),
+                nodes,
+                subgraph.num_nodes,
+                self.config.max_batch_nodes,
+                self.config.batch_size,
+            ):
+                yield from self._execute(buffer)
+                buffer, nodes = [], 0
+            buffer.append(request)
+            nodes += subgraph.num_nodes
+        if buffer:
+            yield from self._execute(buffer)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _coalesce(
+        self, requests: Sequence[InferenceRequest]
+    ) -> Iterator[list[InferenceRequest]]:
+        """Group requests with the node-budget batching rule, preserving order."""
+        if not requests:
+            return
+        start = 0
+        for batch in batch_subgraphs_by_nodes(
+            [r.subgraph for r in requests],
+            self.config.max_batch_nodes,
+            max_members=self.config.batch_size,
+        ):
+            stop = start + len(batch.members)
+            yield list(requests[start:stop])
+            start = stop
+
+    def _execute(self, requests: Sequence[InferenceRequest]) -> list[InferenceResult]:
+        """Run one coalesced round and split results back per request."""
+        batch = SubgraphBatch(members=tuple(r.subgraph for r in requests))
+        weights = self.packed_weights()
+        start = time.perf_counter()
+        forward = quantized_forward(
+            self.model,
+            batch,
+            feature_bits=self.config.feature_bits,
+            kernel_config=self.config.kernel,
+            apply_softmax=self.config.apply_softmax,
+            packed_weights=weights,
+            calibration=self.calibration,
+            engine=self._engine,
+        )
+        self.stats.wall_s += time.perf_counter() - start
+
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        self.stats.requests += len(requests)
+        self.stats.batches += 1
+        self.stats.nodes += batch.num_nodes
+        totals = forward.total_counters
+        self.stats.mma_ops += totals.mma_ops
+        self.stats.kernel_launches += totals.launches
+        if self.config.track_device_time:
+            self.device_report.merge(
+                modeled_batch_report(
+                    profile_batch(batch),
+                    self.model,
+                    self._run_config,
+                    self.config.device,
+                    cost=self._cost,
+                )
+            )
+        return [
+            InferenceResult(
+                request_id=request.request_id,
+                batch_id=batch_id,
+                logits=forward.logits[rows],
+            )
+            for request, rows in zip(requests, batch.member_slices())
+        ]

@@ -6,7 +6,12 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError, PartitionError, ShapeError
-from repro.graph.batching import SubgraphBatch, batch_subgraphs, induced_subgraphs
+from repro.graph.batching import (
+    SubgraphBatch,
+    batch_subgraphs,
+    batch_subgraphs_by_nodes,
+    induced_subgraphs,
+)
 from repro.graph.datasets import TABLE1, dataset_names, get_spec, load_dataset
 from repro.graph.generators import planted_partition_graph
 from repro.partition import metis_like_partition
@@ -169,3 +174,39 @@ class TestBatching:
     def test_bad_batch_size(self, subgraphs):
         with pytest.raises(PartitionError):
             list(batch_subgraphs(subgraphs, 0))
+
+
+class TestNodeBudgetBatching:
+    @pytest.fixture
+    def subgraphs(self, rng):
+        g = planted_partition_graph(
+            240, 1500, num_communities=6, feature_dim=4, num_classes=2, rng=rng
+        )
+        return induced_subgraphs(g, metis_like_partition(g, 6))
+
+    def test_respects_node_budget(self, subgraphs):
+        budget = 2 * max(s.num_nodes for s in subgraphs)
+        batches = list(batch_subgraphs_by_nodes(subgraphs, budget))
+        for batch in batches:
+            assert batch.num_nodes <= budget
+        # Order and coverage preserved.
+        flat = [m for b in batches for m in b.members]
+        assert [m.num_nodes for m in flat] == [s.num_nodes for s in subgraphs]
+
+    def test_respects_member_cap(self, subgraphs):
+        batches = list(
+            batch_subgraphs_by_nodes(subgraphs, 10**9, max_members=2)
+        )
+        assert all(len(b.members) <= 2 for b in batches)
+        assert len(batches) == 3
+
+    def test_oversized_subgraph_gets_own_batch(self, subgraphs):
+        batches = list(batch_subgraphs_by_nodes(subgraphs, 1))
+        assert len(batches) == len(subgraphs)
+        assert all(len(b.members) == 1 for b in batches)
+
+    def test_bad_budgets(self, subgraphs):
+        with pytest.raises(PartitionError):
+            list(batch_subgraphs_by_nodes(subgraphs, 0))
+        with pytest.raises(PartitionError):
+            list(batch_subgraphs_by_nodes(subgraphs, 10, max_members=0))

@@ -1,0 +1,89 @@
+"""Tests for the cost-model engine dispatcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitgemm import bitgemm, matmul_int_reference
+from repro.core.bitpack import pack_matrix
+from repro.errors import ConfigError, ShapeError
+from repro.serving.dispatch import CostModelDispatcher
+
+
+class TestCostModelDispatcher:
+    def test_returns_valid_engine(self):
+        dispatch = CostModelDispatcher()
+        for shape in [(8, 8, 8), (64, 128, 64), (1024, 1024, 64)]:
+            assert dispatch(*shape, 1, 8) in ("packed", "blas")
+
+    def test_decision_is_consistent_with_call(self):
+        dispatch = CostModelDispatcher()
+        decision = dispatch.decide(256, 128, 64, 8, 8)
+        assert dispatch(256, 128, 64, 8, 8) == decision.engine
+
+    def test_blas_wins_on_served_shapes(self):
+        # On the shapes the serving workloads produce, the measured host
+        # cost of BLAS is lower (the packed popcount path is slower per
+        # FLOP and pays a larger per-pair overhead).
+        dispatch = CostModelDispatcher()
+        assert dispatch(256, 256, 64, 1, 8) == "blas"
+        assert dispatch(512, 64, 64, 8, 8) == "blas"
+
+    def test_memory_veto_forces_packed(self):
+        dispatch = CostModelDispatcher(blas_bytes_budget=1024)
+        decision = dispatch.decide(512, 512, 64, 8, 8)
+        assert decision.memory_vetoed
+        assert decision.engine == "packed"
+        # Same shape passes with the default budget.
+        assert not CostModelDispatcher().decide(512, 512, 64, 8, 8).memory_vetoed
+
+    def test_huge_unpack_footprint_vetoed_by_default(self):
+        # 8-bit x 8-bit at 8192^2: float32 plane temporaries > 2 GB.
+        decision = CostModelDispatcher().decide(8192, 8192, 8192, 8, 8)
+        assert decision.memory_vetoed
+        assert decision.engine == "packed"
+
+    def test_estimates_are_positive_and_footprint_exact(self):
+        decision = CostModelDispatcher().decide(128, 256, 32, 2, 4)
+        assert decision.packed_s > 0
+        assert decision.blas_s > 0
+        assert decision.blas_bytes == 4 * (2 * 128 * 256 + 4 * 256 * 32)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigError):
+            CostModelDispatcher(blas_bytes_budget=0)
+
+
+class TestDispatcherAsEngineArgument:
+    def test_bitgemm_accepts_dispatcher(self, rng):
+        a = rng.integers(0, 8, size=(40, 150), dtype=np.int64)
+        b = rng.integers(0, 4, size=(150, 24), dtype=np.int64)
+        packed_a = pack_matrix(a, 3, layout="col")
+        packed_b = pack_matrix(b, 2, layout="row")
+        out = bitgemm(packed_a, packed_b, engine=CostModelDispatcher())
+        np.testing.assert_array_equal(out, matmul_int_reference(a, b))
+
+    def test_selector_must_return_known_engine(self, rng):
+        a = rng.integers(0, 4, size=(16, 128), dtype=np.int64)
+        b = rng.integers(0, 4, size=(128, 8), dtype=np.int64)
+        packed_a = pack_matrix(a, 2, layout="col")
+        packed_b = pack_matrix(b, 2, layout="row")
+        with pytest.raises(ShapeError):
+            bitgemm(packed_a, packed_b, engine=lambda *args: "gpu")
+
+    def test_selector_sees_logical_shape(self, rng):
+        seen = {}
+
+        def spy(m, k, n, bits_a, bits_b):
+            seen.update(m=m, k=k, n=n, bits_a=bits_a, bits_b=bits_b)
+            return "blas"
+
+        a = rng.integers(0, 8, size=(40, 150), dtype=np.int64)
+        b = rng.integers(0, 4, size=(150, 24), dtype=np.int64)
+        bitgemm(
+            pack_matrix(a, 3, layout="col"),
+            pack_matrix(b, 2, layout="row"),
+            engine=spy,
+        )
+        assert seen == {"m": 40, "k": 150, "n": 24, "bits_a": 3, "bits_b": 2}

@@ -1,0 +1,223 @@
+"""Tests for the session-based inference engine.
+
+Covers the PR 1 acceptance points: cache hit/miss accounting, LRU
+eviction under a too-small capacity, and exact agreement between batched
+and per-request results under a shared calibration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gnn import make_batched_gin, make_cluster_gcn, reference_forward
+from repro.graph import batch_subgraphs, induced_subgraphs
+from repro.graph.generators import planted_partition_graph
+from repro.partition import metis_like_partition
+from repro.serving import InferenceEngine, ServingConfig
+
+
+@pytest.fixture
+def subgraphs(rng):
+    g = planted_partition_graph(
+        192, 1200, num_communities=8, feature_dim=12, num_classes=3, rng=rng
+    )
+    return induced_subgraphs(g, metis_like_partition(g, 8))
+
+
+@pytest.fixture
+def gin_model(subgraphs):
+    g = subgraphs[0].graph
+    return make_batched_gin(g.features.shape[1], 3, hidden_dim=16, seed=3)
+
+
+class TestServingConfig:
+    def test_defaults_valid(self):
+        config = ServingConfig()
+        assert config.effective_weight_bits == config.feature_bits
+
+    def test_weight_bits_override(self):
+        assert ServingConfig(feature_bits=4, weight_bits=2).effective_weight_bits == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"feature_bits": 0},
+            {"weight_bits": 33},
+            {"batch_size": 0},
+            {"max_batch_nodes": 0},
+            {"engine": "cuda"},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ConfigError):
+            ServingConfig(**kwargs)
+
+
+class TestResults:
+    def test_results_in_submission_order(self, gin_model, subgraphs):
+        engine = InferenceEngine(gin_model, ServingConfig(feature_bits=8))
+        results = engine.infer(subgraphs)
+        assert [r.request_id for r in results] == list(range(len(subgraphs)))
+        for sub, res in zip(subgraphs, results):
+            assert res.logits.shape == (sub.num_nodes, 3)
+
+    def test_batched_equals_per_request_exactly(self, gin_model, subgraphs):
+        batched = InferenceEngine(
+            gin_model, ServingConfig(feature_bits=8, batch_size=4)
+        )
+        batched_results = batched.infer(subgraphs)
+        # A second session sharing the calibration but serving one request
+        # per round must reproduce every logit bit for bit.
+        single = InferenceEngine(
+            gin_model,
+            ServingConfig(feature_bits=8, batch_size=1),
+            calibration=batched.calibration,
+        )
+        for sub, expected in zip(subgraphs, batched_results):
+            got = single.infer_one(sub)
+            np.testing.assert_array_equal(got.logits, expected.logits)
+        assert batched.stats.batches < single.stats.batches
+
+    def test_engine_choice_does_not_change_results(self, gin_model, subgraphs):
+        shared = InferenceEngine(gin_model, ServingConfig(feature_bits=8))
+        baseline = shared.infer(subgraphs[:4])
+        for engine_name in ("packed", "blas", "auto"):
+            other = InferenceEngine(
+                gin_model,
+                ServingConfig(feature_bits=8, engine=engine_name),
+                calibration=shared.calibration,
+            )
+            for expected, got in zip(baseline, other.infer(subgraphs[:4])):
+                np.testing.assert_array_equal(got.logits, expected.logits)
+
+    def test_approximates_fp32_reference(self, subgraphs):
+        g = subgraphs[0].graph
+        model = make_cluster_gcn(g.features.shape[1], 3, hidden_dim=16, seed=1)
+        engine = InferenceEngine(model, ServingConfig(feature_bits=8, batch_size=4))
+        results = engine.infer(subgraphs[:4])
+        batch = next(batch_subgraphs(subgraphs[:4], 4))
+        reference = reference_forward(model, batch)
+        got = np.concatenate([r.logits for r in results])
+        rel_err = np.abs(got - reference).mean() / np.abs(reference).mean()
+        assert rel_err < 0.12
+
+
+class TestWeightCache:
+    def test_hit_miss_accounting(self, gin_model, subgraphs):
+        engine = InferenceEngine(
+            gin_model, ServingConfig(feature_bits=8, batch_size=2)
+        )
+        layers = gin_model.num_layers
+        engine.infer(subgraphs)  # 8 subgraphs -> 4 batches
+        stats = engine.stats.weight_cache
+        batches = engine.stats.batches
+        assert batches > 1
+        assert stats.misses == layers  # packed exactly once per layer
+        assert stats.hits == layers * (batches - 1)
+        assert stats.evictions == 0
+
+    def test_warm_up_prepacks(self, gin_model, subgraphs):
+        engine = InferenceEngine(gin_model, ServingConfig(feature_bits=8)).warm_up()
+        assert engine.stats.weight_cache.misses == gin_model.num_layers
+        engine.infer(subgraphs[:2])
+        assert engine.stats.weight_cache.misses == gin_model.num_layers
+
+    def test_lru_eviction_under_small_capacity(self, gin_model, subgraphs):
+        # Capacity below the layer count: every round re-packs every layer.
+        engine = InferenceEngine(
+            gin_model,
+            ServingConfig(feature_bits=8, weight_cache_capacity=1, batch_size=2),
+        )
+        engine.infer(subgraphs[:6])
+        stats = engine.stats.weight_cache
+        layers = gin_model.num_layers
+        batches = engine.stats.batches
+        assert stats.hits == 0
+        assert stats.misses == layers * batches
+        assert stats.evictions == layers * batches - 1
+
+    def test_cache_tracks_bytes(self, gin_model):
+        engine = InferenceEngine(gin_model, ServingConfig(feature_bits=8)).warm_up()
+        packed = engine.packed_weights()
+        assert engine.weight_cache.nbytes == sum(w.nbytes for w in packed)
+        assert len(engine.weight_cache) == gin_model.num_layers
+
+
+class TestCoalescing:
+    def test_respects_batch_size(self, gin_model, subgraphs):
+        engine = InferenceEngine(gin_model, ServingConfig(feature_bits=4, batch_size=3))
+        results = engine.infer(subgraphs)  # 8 subgraphs -> 3+3+2
+        assert engine.stats.batches == 3
+        assert max(r.batch_id for r in results) == 2
+
+    def test_respects_node_budget(self, gin_model, subgraphs):
+        budget = 2 * max(s.num_nodes for s in subgraphs)
+        engine = InferenceEngine(
+            gin_model,
+            ServingConfig(feature_bits=4, batch_size=8, max_batch_nodes=budget),
+        )
+        engine.infer(subgraphs)
+        # With ~equal member sizes a round holds at most 2 subgraphs.
+        assert engine.stats.batches >= len(subgraphs) // 2
+        assert engine.stats.mean_batch_occupancy <= 2.0
+
+    def test_stream_yields_incrementally(self, gin_model, subgraphs):
+        engine = InferenceEngine(gin_model, ServingConfig(feature_bits=4, batch_size=2))
+        seen = []
+        for result in engine.stream(iter(subgraphs[:5])):
+            seen.append(result.request_id)
+        assert seen == [0, 1, 2, 3, 4]
+        assert engine.stats.batches == 3  # 2+2+1
+        assert engine.pending == 0
+
+    def test_infer_one_ignores_pending_queue(self, gin_model, subgraphs):
+        # Regression: infer_one must return ITS request's result even when
+        # other requests are already queued, and must leave them queued.
+        engine = InferenceEngine(gin_model, ServingConfig(feature_bits=8))
+        engine.submit(subgraphs[0])
+        result = engine.infer_one(subgraphs[1])
+        assert result.logits.shape[0] == subgraphs[1].num_nodes
+        assert engine.pending == 1
+        queued = engine.flush()
+        assert len(queued) == 1
+        assert queued[0].logits.shape[0] == subgraphs[0].num_nodes
+
+    def test_submit_flush_lifecycle(self, gin_model, subgraphs):
+        engine = InferenceEngine(gin_model, ServingConfig(feature_bits=4))
+        engine.submit(subgraphs[0])
+        engine.submit(subgraphs[1])
+        assert engine.pending == 2
+        results = engine.flush()
+        assert engine.pending == 0
+        assert len(results) == 2
+        assert engine.flush() == []
+
+
+class TestSessionTelemetry:
+    def test_stats_accumulate(self, gin_model, subgraphs):
+        engine = InferenceEngine(gin_model, ServingConfig(feature_bits=8))
+        engine.infer(subgraphs)
+        stats = engine.stats
+        assert stats.requests == len(subgraphs)
+        assert stats.nodes == sum(s.num_nodes for s in subgraphs)
+        assert stats.mma_ops > 0
+        assert stats.kernel_launches > 0
+        assert stats.wall_s > 0
+        assert stats.requests_per_s > 0
+
+    def test_modeled_device_report(self, gin_model, subgraphs):
+        engine = InferenceEngine(gin_model, ServingConfig(feature_bits=8))
+        engine.infer(subgraphs)
+        report = engine.device_report
+        assert report.num_batches == engine.stats.batches
+        assert report.total_s() > 0
+        assert report.mma_ops > 0
+
+    def test_device_tracking_can_be_disabled(self, gin_model, subgraphs):
+        engine = InferenceEngine(
+            gin_model, ServingConfig(feature_bits=8, track_device_time=False)
+        )
+        engine.infer(subgraphs[:2])
+        assert engine.device_report.num_batches == 0
