@@ -1,0 +1,99 @@
+"""Sparse hot path: zero-tile skipping beats dense packed execution.
+
+The systems-level realization of the paper's §4.3 argument.  A serving
+session coalesces 16 subgraph requests into one block-diagonal batch;
+everything between member blocks is structurally zero, so only about
+``1/members`` of the adjacency's 8x128 tiles survive the ballot.  The
+``sparse`` host engine executes exactly those tiles — the same GEMM the
+dense ``packed`` engine computes in full — and both return bit-identical
+products (the differential suite pins this down; here we assert it again
+on the measured workload).
+
+Both paths are measured host wall-clock of this process on the identical
+aggregation GEMM (1-bit batched adjacency x 8-bit packed features).
+Acceptance: sparse >= 2x faster than packed on the 16-member batch
+(measured margin ~5-8x; the expected nonzero-tile fraction is ~1/16 plus
+intra-member sparsity).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.bitpack import pack_matrix
+from repro.graph import induced_subgraphs, load_dataset
+from repro.graph.batching import SubgraphBatch
+from repro.partition import partition_graph
+from repro.tc.kernel import BitGemmKernel, plan_tile_skip
+
+MEMBERS = 16
+FEATURE_BITS = 8
+FEATURE_DIM = 64
+#: Best-of-N damps scheduler noise on shared CI runners.
+PASSES = 3
+
+
+def run_sparse_skip() -> dict:
+    graph = load_dataset("PPI", scale=0.04)
+    result = partition_graph(graph, MEMBERS, method="metis")
+    subgraphs = induced_subgraphs(graph, result.assignment)
+    batch = SubgraphBatch(members=tuple(subgraphs))
+    rng = np.random.default_rng(0)
+
+    packed_adj = batch.packed_adjacency(self_loops=True)
+    plan = plan_tile_skip(packed_adj)
+    feats = rng.integers(0, 1 << FEATURE_BITS, (batch.num_nodes, FEATURE_DIM))
+    packed_x = pack_matrix(feats, FEATURE_BITS, layout="row")
+
+    kernel = BitGemmKernel()
+    times, outputs = {}, {}
+    for engine in ("packed", "sparse"):
+        best = float("inf")
+        for _ in range(PASSES):
+            start = time.perf_counter()
+            outputs[engine] = kernel.run(
+                packed_adj, packed_x, engine=engine, plan=plan
+            ).output
+            best = min(best, time.perf_counter() - start)
+        times[engine] = best
+
+    return {
+        "nodes": batch.num_nodes,
+        "members": MEMBERS,
+        "nonzero_fraction": plan.nonzero_fraction,
+        "packed_s": times["packed"],
+        "sparse_s": times["sparse"],
+        "speedup": times["packed"] / times["sparse"],
+        "identical": bool(np.array_equal(outputs["packed"], outputs["sparse"])),
+    }
+
+
+def format_sparse_skip(r: dict) -> str:
+    lines = [
+        f"Sparse zero-tile skipping: {r['members']}-member block-diagonal "
+        f"batch, {r['nodes']} nodes, {FEATURE_BITS}-bit features",
+        f"measured nonzero-tile fraction: {r['nonzero_fraction']:.4f} "
+        f"(block-diagonal bound ~ 1/{r['members']} = {1 / r['members']:.4f})",
+        f"{'engine':<10} {'aggregation GEMM ms':>20}",
+        f"{'packed':<10} {r['packed_s'] * 1e3:>20.1f}",
+        f"{'sparse':<10} {r['sparse_s'] * 1e3:>20.1f}",
+        f"speedup: {r['speedup']:.2f}x   outputs bit-identical: {r['identical']}",
+    ]
+    return "\n".join(lines)
+
+
+def test_sparse_skip(benchmark, once, report):
+    r = once(benchmark, run_sparse_skip)
+    report(benchmark, format_sparse_skip(r))
+    benchmark.extra_info["speedup"] = r["speedup"]
+
+    # The whole point of skipping: the product is exactly the same bits.
+    assert r["identical"]
+    # Block-diagonal structure dominates the census: the surviving
+    # fraction sits near 1/members (intra-member zeros push it lower,
+    # tile-grid rounding at member boundaries slightly higher).
+    assert r["nonzero_fraction"] < 2.5 / r["members"]
+    # Acceptance: the sparse engine beats dense packed execution >= 2x.
+    assert r["speedup"] >= 2.0, f"sparse speedup only {r['speedup']:.2f}x"

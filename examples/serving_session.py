@@ -61,6 +61,13 @@ def main() -> None:
           f"{stats.weight_cache.misses} misses "
           f"({100 * stats.weight_cache.hit_rate:.1f}% hit rate, "
           f"{engine.weight_cache.nbytes} B packed planes held)")
+    print(f"  tile-mask cache   : {stats.adjacency_cache.hits} hits / "
+          f"{stats.adjacency_cache.misses} misses "
+          f"({100 * stats.adjacency_cache.hit_rate:.1f}% hit rate — packed "
+          f"adjacencies + zero-tile ballots reused across rounds)")
+    print(f"  zero-tile skipping: {stats.tiles_skipped}/{stats.tiles_total} "
+          f"tiles jumped ({100 * stats.measured_skip_fraction:.1f}% — measured, "
+          f"what the sparse engine never computes)")
     print(f"  batch occupancy   : {stats.mean_batch_occupancy:.1f} "
           f"requests/round over {stats.batches} rounds")
     print(f"  bmma issued       : {stats.mma_ops}")

@@ -17,14 +17,23 @@ Each 1-bit GEMM is an AND + popcount over the packed K dimension
 * ``"blas"`` — unpack the planes to float32 and use BLAS ``matmul``.  Exact
   for any K below 2^24 (a 0/1 dot product is an integer that float32
   represents exactly) and much faster for large matrices.
+* ``"sparse"`` — the host realization of the paper's §4.3 zero-tile
+  jumping: census the ``8 x 128`` tiles of the left operand once, then
+  compute only the non-zero ones (gather the surviving k-tiles of each
+  row group, AND+popcount, scatter the row block back).  Bit-identical to
+  ``"packed"`` because all-zero tiles contribute nothing to any AND+popcount
+  dot product; much faster when the operand is tile-sparse — e.g. the
+  block-diagonal adjacency of a coalesced serving batch, where roughly
+  ``1/members`` of the tiles survive.
 
-Both are tested against each other and against an int64 reference.
+All engines are tested against each other and against an int64 reference.
 
 Engine selection is pluggable: every ``engine=`` parameter accepts the
 literal names above *or* an :data:`EngineSelector` — a callable
-``(m, k, n, bits_a, bits_b) -> "packed" | "blas"`` — so callers such as the
-serving dispatcher (:mod:`repro.serving.dispatch`) can pick the engine per
-product from a cost model instead of the built-in size threshold.
+``(m, k, n, bits_a, bits_b) -> "packed" | "blas" | "sparse"`` — so callers
+such as the serving dispatcher (:mod:`repro.serving.dispatch`) can pick the
+engine per product from a cost model instead of the built-in size
+threshold.
 
 Scalar- and vector-level decomposed products (Eq. 5/6 verbatim) are included
 as executable documentation; the test-suite uses them as independent oracles.
@@ -32,21 +41,23 @@ as executable documentation; the test-suite uses them as independent oracles.
 
 from __future__ import annotations
 
-from typing import Callable, Literal, Union
+from typing import Callable, Literal, Sequence, Union
 
 import numpy as np
 
 from ..errors import BitwidthError, PackingError, ShapeError
 from .bitdecomp import bit_decompose
-from .bitops import and_popcount
-from .bitpack import PackedBits, pack_matrix
+from .bitops import and_popcount, popcount
+from .bitpack import PackedBits, pack_matrix, tile_nonzero_mask
 
 __all__ = [
+    "ENGINE_NAMES",
     "Engine",
     "EngineSelector",
     "scalar_mul_decomposed",
     "vector_dot_decomposed",
     "bmm_plane_packed",
+    "bmm_plane_packed_sparse",
     "bmm_plane_blas",
     "bitgemm_planes",
     "bitgemm",
@@ -54,10 +65,13 @@ __all__ = [
     "matmul_int_reference",
 ]
 
-EngineName = Literal["auto", "packed", "blas"]
+EngineName = Literal["auto", "packed", "blas", "sparse"]
 #: A pluggable engine chooser: ``(m, k, n, bits_a, bits_b) -> engine name``.
 EngineSelector = Callable[[int, int, int, int, int], str]
 Engine = Union[EngineName, EngineSelector]
+
+#: Engine names an :data:`EngineSelector` may return.
+ENGINE_NAMES = ("packed", "blas", "sparse")
 
 #: Row-block size of the packed engine; caps the broadcast temporary at
 #: roughly ``block * N * k_words * 4`` bytes.
@@ -144,6 +158,114 @@ def bmm_plane_packed(
     return out
 
 
+def bmm_plane_packed_sparse(
+    a_words: np.ndarray,
+    b_words: np.ndarray,
+    *,
+    tile_mask: np.ndarray | None = None,
+    row_block: int = _PACKED_ROW_BLOCK,
+) -> np.ndarray:
+    """1-bit GEMM that computes only the non-zero ``8 x 128`` tiles of A.
+
+    Host analogue of the paper's §4.3 zero-tile jumping: the tile census of
+    the left operand (``tile_nonzero_mask``, the vectorized warp ballot) is
+    taken once, then only surviving tiles are multiplied.  Rows are gathered
+    per tile-row group, the surviving k-tiles accumulated with AND+popcount,
+    and the partial rows scattered back — skipped tiles contribute exactly
+    zero to every dot product, so the result is bit-identical to
+    :func:`bmm_plane_packed` at a fraction of the work proportional to the
+    non-zero tile ratio.
+
+    Parameters
+    ----------
+    a_words, b_words:
+        Packed planes as in :func:`bmm_plane_packed`; ``a_words`` must
+        additionally be a whole number of ``8 x 128`` tiles (always true
+        for :class:`~repro.core.bitpack.PackedBits` planes).
+    tile_mask:
+        Optional precomputed ``(rows // 8, k_words // 4)`` boolean census of
+        ``a_words`` (e.g. from a serving session's tile-mask cache).  Must
+        be *conservative*: ``True`` wherever the tile has any set bit.
+        Computed on the fly when omitted.
+    """
+    a_words = np.asarray(a_words)
+    b_words = np.asarray(b_words)
+    if a_words.ndim != 2 or b_words.ndim != 2:
+        raise ShapeError("bmm_plane_packed_sparse expects 2-D packed word arrays")
+    if a_words.shape[1] != b_words.shape[1]:
+        raise ShapeError(
+            f"packed K-word axes differ: {a_words.shape[1]} vs {b_words.shape[1]}"
+        )
+    rows, kwords = a_words.shape
+    if tile_mask is None:
+        tile_mask = tile_nonzero_mask(a_words)
+    else:
+        tile_mask = np.asarray(tile_mask)
+        if rows % 8 or kwords % 4:
+            raise ShapeError(
+                f"plane shape {a_words.shape} is not a whole number of 8x128 tiles"
+            )
+        if tile_mask.shape != (rows // 8, kwords // 4):
+            raise ShapeError(
+                f"tile mask shape {tile_mask.shape} does not match the "
+                f"{(rows // 8, kwords // 4)} tile grid of the plane"
+            )
+    return _sparse_plane_products(
+        a_words, b_words[None, :, :], tile_mask, row_block=row_block
+    )[0]
+
+
+def _sparse_plane_products(
+    a_words: np.ndarray,
+    b_planes: np.ndarray,
+    tile_mask: np.ndarray,
+    *,
+    row_block: int = _PACKED_ROW_BLOCK,
+) -> np.ndarray:
+    """One packed A plane against a stack of packed B planes, zero tiles
+    skipped.
+
+    ``b_planes`` is ``(bits_b, N, W)``; returns ``(bits_b, rows, N)``.
+    Shared core of the ``sparse`` engine: computing every B bit plane inside
+    one gather amortizes the per-call overhead that dominates tiny
+    tile-group products (the host analogue of §4.4's load-A-once schedule).
+    """
+    rows, kwords = a_words.shape
+    bits_b, n = b_planes.shape[0], b_planes.shape[1]
+    out = np.zeros((bits_b, rows, n), dtype=np.int64)
+    if not tile_mask.any() or n == 0:
+        return out
+    a_tiles = a_words.reshape(rows // 8, 8, kwords // 4, 4)
+    b_tiles = b_planes.reshape(bits_b, n, kwords // 4, 4)
+    # Tile rows sharing an active-tile set are processed in one gather — a
+    # block-diagonal batch collapses to roughly one group per member.
+    masks, inverse = np.unique(tile_mask, axis=0, return_inverse=True)
+    for group, mask in enumerate(masks):
+        active = np.flatnonzero(mask)
+        if active.size == 0:
+            continue
+        awords = active.size * 4
+        tile_rows = np.flatnonzero(inverse == group)
+        # B laid out (bits_b, active-words, N) so the broadcast's contiguous
+        # inner axis is N, not the (often tiny) surviving word count — the
+        # short-axis layout is ~3x slower purely on loop overhead.
+        b_sel = np.ascontiguousarray(
+            b_tiles[:, :, active, :].reshape(bits_b, n, awords).transpose(0, 2, 1)
+        )
+        a_sel = a_tiles[tile_rows][:, :, active, :].reshape(-1, awords)
+        row_idx = (tile_rows[:, None] * 8 + np.arange(8)[None, :]).ravel()
+        # The broadcast temporary is (bits_b, block, active-words, N); pick
+        # the row block so its footprint stays near the packed engine's
+        # ``row_block x N x kwords`` budget.
+        block = max(8, (row_block * kwords) // max(bits_b * awords, 1))
+        for start in range(0, row_idx.size, block):
+            stop = min(start + block, row_idx.size)
+            out[:, row_idx[start:stop]] = popcount(
+                a_sel[None, start:stop, :, None] & b_sel[:, None, :, :]
+            ).sum(axis=2, dtype=np.int64)
+    return out
+
+
 def bmm_plane_blas(a_plane: np.ndarray, b_plane: np.ndarray) -> np.ndarray:
     """1-bit GEMM on *unpacked* planes via float32 BLAS.
 
@@ -166,12 +288,12 @@ def _select_engine(
     m, n = a_packed.logical_vectors, b_packed.logical_vectors
     if callable(engine):
         chosen = engine(m, a_packed.logical_k, n, a_packed.bits, b_packed.bits)
-        if chosen not in ("packed", "blas"):
+        if chosen not in ENGINE_NAMES:
             raise ShapeError(
-                f"engine selector returned {chosen!r}; expected 'packed' or 'blas'"
+                f"engine selector returned {chosen!r}; expected one of {ENGINE_NAMES}"
             )
         return chosen
-    if engine not in ("auto", "packed", "blas"):
+    if engine != "auto" and engine not in ENGINE_NAMES:
         raise ShapeError(f"unknown engine {engine!r}")
     if engine != "auto":
         return engine
@@ -179,7 +301,11 @@ def _select_engine(
 
 
 def bitgemm_planes(
-    a_packed: PackedBits, b_packed: PackedBits, *, engine: Engine = "auto"
+    a_packed: PackedBits,
+    b_packed: PackedBits,
+    *,
+    engine: Engine = "auto",
+    tile_masks: Sequence[np.ndarray] | None = None,
 ) -> np.ndarray:
     """All pairwise 1-bit plane products of two packed matrices.
 
@@ -189,6 +315,10 @@ def bitgemm_planes(
     partial bit-matrices before the shift-add reduction, and the kernel
     emulator reuses this decomposition for its cross-bit/cross-tile
     schedules.
+
+    ``tile_masks`` optionally supplies one precomputed non-zero-tile census
+    per A plane (e.g. from a serving session's tile-mask cache); consumed by
+    the ``sparse`` engine, ignored by the others.
     """
     if a_packed.layout != "col":
         raise PackingError("left operand must use column-wise compression")
@@ -199,6 +329,11 @@ def bitgemm_planes(
             f"reduction dims differ: A has K={a_packed.logical_k}, "
             f"B has K={b_packed.logical_k}"
         )
+    if tile_masks is not None and len(tile_masks) != a_packed.bits:
+        raise ShapeError(
+            f"tile_masks must have {a_packed.bits} entries (one per A plane), "
+            f"got {len(tile_masks)}"
+        )
     m, n = a_packed.logical_vectors, b_packed.logical_vectors
     chosen = _select_engine(engine, a_packed, b_packed)
     out = np.empty((a_packed.bits, b_packed.bits, m, n), dtype=np.int64)
@@ -207,6 +342,24 @@ def bitgemm_planes(
             for j in range(b_packed.bits):
                 full = bmm_plane_packed(a_packed.plane(i), b_packed.plane(j))
                 out[i, j] = full[:m, :n]
+    elif chosen == "sparse":
+        for i in range(a_packed.bits):
+            # One census per A plane, consumed by every B plane in a single
+            # gathered pass (the host analogue of the §4.4 cross-tile
+            # schedule).
+            mask = (
+                np.asarray(tile_masks[i])
+                if tile_masks is not None
+                else tile_nonzero_mask(a_packed.plane(i))
+            )
+            grid = (a_packed.padded_vectors // 8, a_packed.k_words // 4)
+            if mask.shape != grid:
+                raise ShapeError(
+                    f"tile mask shape {mask.shape} does not match the "
+                    f"{grid} tile grid of the plane"
+                )
+            full = _sparse_plane_products(a_packed.plane(i), b_packed.words, mask)
+            out[i] = full[:, :m, :n]
     else:
         a_planes = a_packed.to_planes().astype(np.float32)  # (ba, M, K)
         b_planes = b_packed.to_planes().astype(np.float32)  # (bb, K, N)
@@ -217,14 +370,19 @@ def bitgemm_planes(
 
 
 def bitgemm(
-    a_packed: PackedBits, b_packed: PackedBits, *, engine: Engine = "auto"
+    a_packed: PackedBits,
+    b_packed: PackedBits,
+    *,
+    engine: Engine = "auto",
+    tile_masks: Sequence[np.ndarray] | None = None,
 ) -> np.ndarray:
     """Any-bitwidth GEMM: shift-add all plane products (Algorithm 1).
 
     Returns the exact int64 product of the underlying integer matrices,
-    shape ``(M, N)``.
+    shape ``(M, N)``.  ``tile_masks`` forwards precomputed per-plane tile
+    censuses to the ``sparse`` engine (see :func:`bitgemm_planes`).
     """
-    partial = bitgemm_planes(a_packed, b_packed, engine=engine)
+    partial = bitgemm_planes(a_packed, b_packed, engine=engine, tile_masks=tile_masks)
     bits_a, bits_b = partial.shape[0], partial.shape[1]
     shifts = np.arange(bits_a)[:, None] + np.arange(bits_b)[None, :]
     weights = (np.int64(1) << shifts.astype(np.int64))[:, :, None, None]

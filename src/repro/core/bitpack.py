@@ -42,6 +42,7 @@ __all__ = [
     "PackedBits",
     "pack_bit_planes",
     "pack_matrix",
+    "tile_nonzero_mask",
     "unpack_bit_planes",
     "unpack_matrix",
 ]
@@ -105,13 +106,15 @@ class PackedBits:
             raise PackingError(
                 f"plane count {self.words.shape[0]} != bits {self.bits}"
             )
-        expected_vectors = pad_to(self.logical_vectors, self.pad_vectors)
+        # Degenerate (empty) matrices still occupy one padded tile — the
+        # same ``max(n, 1)`` rule :func:`pack_bit_planes` pads with.
+        expected_vectors = pad_to(max(self.logical_vectors, 1), self.pad_vectors)
         if self.words.shape[1] != expected_vectors:
             raise PackingError(
                 f"padded vector axis {self.words.shape[1]} != "
                 f"PAD{self.pad_vectors}({self.logical_vectors}) = {expected_vectors}"
             )
-        expected_words = pad_to(self.logical_k, TC_K) // WORD_BITS
+        expected_words = pad_to(max(self.logical_k, 1), TC_K) // WORD_BITS
         if self.words.shape[2] != expected_words:
             raise PackingError(
                 f"k-word axis {self.words.shape[2]} != "
@@ -279,3 +282,39 @@ def unpack_bit_planes(packed: PackedBits) -> np.ndarray:
 def unpack_matrix(packed: PackedBits) -> np.ndarray:
     """Unpack and shift-add back to the original integer codes (int64)."""
     return bit_compose(unpack_bit_planes(packed))
+
+
+def tile_nonzero_mask(plane_words: np.ndarray) -> np.ndarray:
+    """Boolean mask of non-zero ``8 x 128``-bit tiles of a packed plane.
+
+    The vectorized form of the paper's §4.3 zero-tile ballot: 8 threads each
+    OR their ``uint4`` (4 consecutive words = one tile row), and a warp
+    ballot combines the 8 lane predicates — a zero ballot marks a tile the
+    kernel can jump.  Lives in ``core`` because both the ``sparse`` host
+    engine (:func:`repro.core.bitgemm.bmm_plane_packed_sparse`) and the TC
+    emulator's jump logic (:mod:`repro.tc.zerotile`) consume it.
+
+    Parameters
+    ----------
+    plane_words:
+        Packed 1-bit plane, shape ``(padded_vectors, k_words)`` uint32 with
+        ``padded_vectors % 8 == 0`` and ``k_words % 4 == 0`` (guaranteed by
+        PAD8/PAD128 packing).
+
+    Returns
+    -------
+    ``(padded_vectors // 8, k_words // 4)`` boolean array; ``True`` marks a
+    tile that contains at least one set bit and must be processed.
+    """
+    if plane_words.ndim != 2:
+        raise ShapeError("expected a 2-D packed plane")
+    rows, kwords = plane_words.shape
+    if rows % 8 or kwords % 4:
+        raise ShapeError(
+            f"plane shape {plane_words.shape} is not a whole number of 8x128 tiles"
+        )
+    tiles = plane_words.reshape(rows // 8, 8, kwords // 4, 4)
+    # Per-thread uint4 OR (axis -1), then the warp-ballot across the 8 rows
+    # (axis 1): nonzero ballot == tile has an edge.
+    per_row = np.bitwise_or.reduce(tiles, axis=-1)
+    return np.bitwise_or.reduce(per_row, axis=1) != 0

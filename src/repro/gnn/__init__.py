@@ -16,8 +16,10 @@ from .activations import (
 from .models import GNNModel, LayerSpec, make_batched_gin, make_cluster_gcn
 from .quantized import (
     ActivationCalibration,
+    PackedAdjacency,
     PackedLayerWeight,
     QuantizedForwardResult,
+    pack_batch_adjacency,
     pack_layer_weight,
     quantize_model_weights,
     quantized_forward,
@@ -30,6 +32,7 @@ __all__ = [
     "BatchNormParams",
     "GNNModel",
     "LayerSpec",
+    "PackedAdjacency",
     "PackedLayerWeight",
     "QATConfig",
     "QuantizedForwardResult",
@@ -42,6 +45,7 @@ __all__ = [
     "log_softmax",
     "make_batched_gin",
     "make_cluster_gcn",
+    "pack_batch_adjacency",
     "pack_layer_weight",
     "quantize_model_weights",
     "quantized_forward",

@@ -34,9 +34,15 @@ them:
   forward and the equivalent per-request forwards produce *bit-identical*
   logits (the block-diagonal adjacency keeps members independent, so the
   only coupling is through calibration — which freezing removes).
+* :class:`PackedAdjacency` — a batch's adjacency densified, 1-bit packed,
+  tile-censused (:class:`~repro.tc.kernel.TileSkipPlan`) and degree-summed
+  once.  :func:`pack_batch_adjacency` builds one; ``packed_adjacency=``
+  feeds it in so a serving session that sees the same batch twice packs and
+  ballots the operand once.
 
-When neither is supplied the behavior is the original one-shot path:
-weights are re-quantized per call and activations calibrate per tensor.
+When none is supplied the behavior is the original one-shot path: weights
+and the adjacency are re-packed per call and activations calibrate per
+tensor.
 """
 
 from __future__ import annotations
@@ -51,14 +57,16 @@ from ..core.quantization import QuantParams, calibrate, quantize
 from ..errors import BitwidthError, ConfigError, ShapeError
 from ..graph.batching import SubgraphBatch
 from ..tc.counters import KernelCounters
-from ..tc.kernel import BitGemmKernel, KernelConfig
+from ..tc.kernel import BitGemmKernel, KernelConfig, TileSkipPlan, plan_tile_skip
 from .activations import relu, softmax
 from .models import GNNModel
 
 __all__ = [
     "ActivationCalibration",
+    "PackedAdjacency",
     "PackedLayerWeight",
     "QuantizedForwardResult",
+    "pack_batch_adjacency",
     "pack_layer_weight",
     "quantize_model_weights",
     "quantized_forward",
@@ -128,6 +136,62 @@ def pack_layer_weight(weight: np.ndarray, bits: int) -> PackedLayerWeight:
         packed=pack_matrix(qw, bits, layout="row"),
         params=pw,
         col_sums=qw.sum(axis=0, dtype=np.float64)[None, :],
+    )
+
+
+@dataclass(frozen=True)
+class PackedAdjacency:
+    """A batch's aggregation operand, built once and reusable across layers
+    and (via a serving cache) across repeat executions of the same batch.
+
+    Bundles everything the aggregation GEMM needs from the left operand:
+
+    Attributes
+    ----------
+    packed:
+        1-bit column-compressed adjacency planes (self loops included) —
+        the kernel's left operand.
+    plan:
+        Non-zero tile census of the packed planes (§4.3).  Feeds the
+        kernel's measured skip counters and tells the ``sparse`` host
+        engine exactly which tiles to execute.
+    degrees:
+        ``(n, 1)`` float64 row sums (with self loops) — the rank-1 affine
+        epilogue of the aggregation product.
+    """
+
+    packed: PackedBits
+    plan: TileSkipPlan
+    degrees: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        return self.packed.logical_vectors
+
+    @property
+    def nonzero_fraction(self) -> float:
+        """Fraction of 8x128 tiles a jumping/sparse execution processes."""
+        return self.plan.nonzero_fraction
+
+    @property
+    def nbytes(self) -> int:
+        """Packed storage a serving cache budgets for this entry."""
+        return (
+            self.packed.nbytes
+            + self.degrees.nbytes
+            + sum(mask.nbytes for mask in self.plan.masks)
+        )
+
+
+def pack_batch_adjacency(batch: SubgraphBatch) -> PackedAdjacency:
+    """Densify, bit-pack and tile-census one batch's adjacency (with self
+    loops) — the per-batch analogue of :func:`pack_layer_weight`."""
+    adjacency = batch.dense_adjacency(self_loops=True).astype(np.int64)
+    packed = pack_matrix(adjacency, 1, layout="col")
+    return PackedAdjacency(
+        packed=packed,
+        plan=plan_tile_skip(packed),
+        degrees=adjacency.sum(axis=1, dtype=np.float64)[:, None],
     )
 
 
@@ -216,6 +280,7 @@ def quantized_forward(
     kernel_config: KernelConfig | None = None,
     apply_softmax: bool = False,
     packed_weights: list[PackedLayerWeight] | None = None,
+    packed_adjacency: PackedAdjacency | None = None,
     calibration: ActivationCalibration | None = None,
     engine: Engine = "auto",
 ) -> QuantizedForwardResult:
@@ -232,6 +297,11 @@ def quantized_forward(
         Pre-packed per-layer weights (see :func:`pack_layer_weight`) —
         supplied by a serving session so packing happens once, not per
         request.  ``weight_bits`` is ignored when given.
+    packed_adjacency:
+        Pre-packed batch adjacency with its tile-skip plan (see
+        :func:`pack_batch_adjacency`) — supplied by a serving session's
+        tile-mask cache so repeat executions of one batch neither re-pack
+        nor re-ballot the operand.  Must describe exactly this ``batch``.
     calibration:
         Shared :class:`ActivationCalibration`; omit for the one-shot
         per-tensor calibration behavior.
@@ -255,9 +325,16 @@ def quantized_forward(
             f"expected {model.num_layers} packed weights, got {len(packed_weights)}"
         )
 
-    adjacency = batch.dense_adjacency(self_loops=True).astype(np.int64)
-    packed_adj = pack_matrix(adjacency, 1, layout="col")
-    degrees = adjacency.sum(axis=1, dtype=np.float64)[:, None]
+    if packed_adjacency is None:
+        packed_adjacency = pack_batch_adjacency(batch)
+    elif packed_adjacency.num_nodes != batch.num_nodes:
+        raise ShapeError(
+            f"packed adjacency covers {packed_adjacency.num_nodes} nodes, "
+            f"batch has {batch.num_nodes}"
+        )
+    packed_adj = packed_adjacency.packed
+    adj_plan = packed_adjacency.plan
+    degrees = packed_adjacency.degrees
 
     h = batch.features().astype(np.float64)
 
@@ -270,7 +347,7 @@ def quantized_forward(
         """``Â @ x`` with the adjacency exact (1-bit) and x quantized."""
         qx, px = quantize_at(f"L{layer}/agg", x_real)
         packed_x = pack_matrix(qx, feature_bits, layout="row")
-        res = kernel.run(packed_adj, packed_x, engine=engine)
+        res = kernel.run(packed_adj, packed_x, engine=engine, plan=adj_plan)
         counters.append(res.counters)
         # Â is exact binary: real = s_x * (Â q_x) + c_x * degree.
         return px.scale * res.output + _mid_offset(px) * degrees

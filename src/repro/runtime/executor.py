@@ -152,6 +152,11 @@ def modeled_batch_report(
             report.reload_s += t.reload_s
             report.mma_ops += counters.mma_ops
             report.kernels += counters.launches
+            # The aggregation counters carry the batch's *measured* tile
+            # census (profile.nnz_tiles comes from the real packed operand),
+            # so the report's skip fraction is an observation, not a model.
+            report.tiles_total += counters.tiles_total
+            report.tiles_skipped += counters.tiles_skipped
 
         if not config.fused and not spec.is_output:
             # Unfused epilogue: bias, activation, quantize/decompose —

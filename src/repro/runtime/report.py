@@ -31,7 +31,19 @@ class EpochReport:
     mma_ops: int = 0
     #: Total kernel launches across the epoch.
     kernels: int = 0
+    #: A-operand tiles inspected across all launches (measured census).
+    tiles_total: int = 0
+    #: Tiles the zero-tile ballot skipped (measured, not assumed — fed from
+    #: the same per-plane masks the sparse host engine executes).
+    tiles_skipped: int = 0
     extra: dict = field(default_factory=dict)
+
+    @property
+    def skip_fraction(self) -> float:
+        """Measured fraction of inspected tiles that were jumped (§4.3)."""
+        if self.tiles_total == 0:
+            return 0.0
+        return self.tiles_skipped / self.tiles_total
 
     def total_s(self, *, include_transfer: bool = False) -> float:
         total = (
@@ -61,4 +73,6 @@ class EpochReport:
         self.transfer_s += other.transfer_s
         self.mma_ops += other.mma_ops
         self.kernels += other.kernels
+        self.tiles_total += other.tiles_total
+        self.tiles_skipped += other.tiles_skipped
         return self

@@ -3,17 +3,20 @@
 The production-facing layer of the reproduction (PR 1 tentpole).  A
 :class:`~repro.serving.engine.InferenceEngine` session quantizes and
 bit-packs model weights once, caches the packed planes across requests
-(LRU, keyed on layer/bitwidth/engine), coalesces incoming subgraph
-requests into block-diagonal batched executions, and dispatches each
-bit-GEMM across the ``packed``/``blas`` host engines via the
-:mod:`repro.tc.costmodel`-priced dispatcher.
+(LRU, keyed on layer/bitwidth/engine), caches each batch's packed
+adjacency and zero-tile masks (content-keyed LRU), coalesces incoming
+subgraph requests into block-diagonal batched executions, and dispatches
+each bit-GEMM across the ``packed``/``blas``/``sparse`` host engines via
+the :mod:`repro.tc.costmodel`-priced dispatcher, which routes tile-sparse
+coalesced batches to the zero-tile-skipping ``sparse`` engine from each
+round's measured census.
 
 This is the seam later scaling work (sharding, async execution,
 multi-backend) plugs into: everything above it speaks
 ``Subgraph in, logits out``.
 """
 
-from .cache import CacheStats, LRUCache, WeightCacheKey
+from .cache import AdjacencyCacheKey, CacheStats, LRUCache, WeightCacheKey
 from .dispatch import CostModelDispatcher, DispatchDecision
 from .engine import (
     InferenceEngine,
@@ -24,6 +27,7 @@ from .engine import (
 )
 
 __all__ = [
+    "AdjacencyCacheKey",
     "CacheStats",
     "CostModelDispatcher",
     "DispatchDecision",

@@ -21,13 +21,18 @@ from typing import Callable, Generic, Hashable, TypeVar
 
 from ..errors import ConfigError
 
-__all__ = ["CacheStats", "LRUCache", "WeightCacheKey"]
+__all__ = ["AdjacencyCacheKey", "CacheStats", "LRUCache", "WeightCacheKey"]
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
 
 #: Cache key of one packed weight plane: ``(layer index, bitwidth, engine)``.
 WeightCacheKey = tuple[int, int, str]
+
+#: Content-derived cache key of one batch's packed adjacency + tile masks:
+#: a tuple of per-member ``(num_nodes, num_edges, structure-digest)``
+#: entries (see ``InferenceEngine._batch_key``).
+AdjacencyCacheKey = tuple[tuple[int, int, bytes], ...]
 
 
 @dataclass

@@ -1,22 +1,32 @@
 """Cost-model-driven engine dispatch for serving requests.
 
-The functional bit-GEMM has two host engines
+The functional bit-GEMM has three host engines
 (:mod:`repro.core.bitgemm`): ``"packed"`` (word-at-a-time AND+popcount on
-the packed planes) and ``"blas"`` (unpack to float32, one BLAS matmul per
-plane pair).  The built-in ``"auto"`` rule is a fixed output-size
-threshold; a serving session instead asks :class:`CostModelDispatcher`,
-which prices each product from the kernel work measures of
-:class:`~repro.tc.costmodel.TCCostModel` (bmma count per §4's tiling)
-scaled by calibrated host rates:
+the packed planes), ``"blas"`` (unpack to float32, one BLAS matmul per
+plane pair) and ``"sparse"`` (zero-tile-skipping AND+popcount over only
+the non-zero 8x128 tiles of a 1-bit left operand).  The built-in
+``"auto"`` rule is a fixed output-size threshold; a serving session
+instead asks :class:`CostModelDispatcher`, which prices each product from
+the kernel work measures of :class:`~repro.tc.costmodel.TCCostModel`
+(bmma count per §4's tiling) scaled by calibrated host rates:
 
-* both engines pay a per-plane-pair call overhead plus padded bit-FLOPs
-  divided by a sustained rate (the packed popcount path is several times
-  slower per FLOP than BLAS, measured on the shipped workloads);
+* both dense engines pay a per-plane-pair call overhead plus padded
+  bit-FLOPs divided by a sustained rate (the packed popcount path is
+  several times slower per FLOP than BLAS, measured on the shipped
+  workloads);
 * the BLAS engine additionally pays to unpack the planes — and is vetoed
   outright when its float32 plane temporaries
   (``bits_a*M*K + bits_b*K*N`` floats) would exceed ``blas_bytes_budget``,
   the regime where the packed engine's 32x denser operands win by not
-  thrashing memory.
+  thrashing memory;
+* the sparse engine pays the packed rate on only the *measured* non-zero
+  tile fraction of the left operand, plus a per-tile-row-group gather
+  overhead.  The fraction is an observation, not a guess: the serving
+  engine calls :meth:`CostModelDispatcher.observe_tile_fraction` with each
+  batch's measured census before executing it, so the dispatcher learns to
+  route large coalesced block-diagonal batches (nonzero fraction ~
+  ``1/members``) to ``sparse`` and small or dense products elsewhere.
+  Only 1-bit left operands (the adjacency GEMM) are eligible.
 
 A dispatcher instance is a valid ``engine=`` argument anywhere
 :data:`~repro.core.bitgemm.Engine` is accepted.
@@ -24,6 +34,7 @@ A dispatcher instance is a valid ``engine=`` argument anywhere
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..errors import ConfigError
@@ -43,6 +54,11 @@ class DispatchDecision:
     blas_bytes: int
     #: True when blas was excluded by the memory budget, not by time.
     memory_vetoed: bool
+    #: Estimated sparse-engine seconds; ``inf`` when sparse is ineligible
+    #: (multi-bit left operand, or no tile census observed yet).
+    sparse_s: float = math.inf
+    #: The measured non-zero tile fraction the sparse price used, if any.
+    tile_fraction: float | None = None
 
 
 class CostModelDispatcher:
@@ -65,6 +81,10 @@ class CostModelDispatcher:
     BLAS_PAIR_OVERHEAD_S = 25e-6
     #: Plane unpack throughput (``np.unpackbits`` + float32 cast).
     UNPACK_BYTES_PER_S = 2.5e9
+    #: Per tile-row-group overhead of the sparse engine (census lookup,
+    #: operand gather, row scatter).  A block-diagonal batch has roughly
+    #: one group per member ~= ``1/fraction`` groups.
+    SPARSE_GROUP_OVERHEAD_S = 150e-6
 
     def __init__(
         self,
@@ -78,12 +98,45 @@ class CostModelDispatcher:
             )
         self.cost = TCCostModel(device)
         self.blas_bytes_budget = blas_bytes_budget
+        #: Measured non-zero tile fraction of the batch currently being
+        #: served; ``None`` until the serving engine observes one.
+        self.tile_fraction: float | None = None
+        #: Node count of the observed adjacency, when known; restricts the
+        #: fraction to the GEMM it actually describes.
+        self._observed_nodes: int | None = None
+
+    # ------------------------------------------------------------------ #
+    def observe_tile_fraction(
+        self, fraction: float, *, nodes: int | None = None
+    ) -> None:
+        """Record the measured non-zero tile fraction of the next products.
+
+        Called by the serving engine with each batch's tile census (from
+        its cached :class:`~repro.tc.kernel.TileSkipPlan`) before the
+        forward pass, so 1-bit adjacency GEMMs are priced from what the
+        sparse engine would actually execute.  The census describes the
+        batch's *adjacency* operand only, so it is applied just to square
+        1-bit products (``m == k``) — and, when ``nodes`` is given, only to
+        the ``nodes x nodes`` adjacency shape — which keeps it off dense
+        1-bit activation update GEMMs except in the coincidence that a
+        layer's input dimension equals the node count.  Even then only the
+        *price* is off: a product routed to ``sparse`` is executed against
+        its own measured census, so results are unaffected.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigError(
+                f"tile fraction must be in [0, 1], got {fraction}"
+            )
+        if nodes is not None and nodes < 0:
+            raise ConfigError(f"nodes must be non-negative, got {nodes}")
+        self.tile_fraction = fraction
+        self._observed_nodes = nodes
 
     # ------------------------------------------------------------------ #
     def decide(
         self, m: int, k: int, n: int, bits_a: int, bits_b: int
     ) -> DispatchDecision:
-        """Price both engines for an ``m x k x n`` product and choose."""
+        """Price every engine for an ``m x k x n`` product and choose."""
         counters = self.cost.gemm_counters(m, k, n, bits_a, bits_b)
         flops = counters.mma_ops * MMA_FLOPS  # padded work, all plane pairs
         pairs = bits_a * bits_b
@@ -96,16 +149,40 @@ class CostModelDispatcher:
             + blas_bytes / self.UNPACK_BYTES_PER_S
         )
         memory_vetoed = blas_bytes > self.blas_bytes_budget
-        if memory_vetoed or packed_s < blas_s:
-            engine = "packed"
+
+        # Sparse: only a 1-bit left operand (the adjacency) has a tile
+        # census, and only an observed census makes the price a measurement.
+        # The census is pinned to the adjacency's square shape so a dense
+        # 1-bit product (e.g. a 1-bit activation update GEMM) is not priced
+        # with another operand's sparsity unless its shape coincides with
+        # the adjacency's exactly (see observe_tile_fraction).
+        describes_operand = m == k and (
+            self._observed_nodes is None or m == self._observed_nodes
+        )
+        fraction = self.tile_fraction if bits_a == 1 and describes_operand else None
+        if fraction is not None:
+            groups = min(max(m // 8, 1), math.ceil(1.0 / max(fraction, 1e-9)))
+            sparse_s = (
+                pairs * self.PACKED_PAIR_OVERHEAD_S
+                + flops * fraction / self.PACKED_FLOPS
+                + groups * self.SPARSE_GROUP_OVERHEAD_S
+            )
         else:
-            engine = "blas"
+            sparse_s = math.inf
+
+        blas_effective = math.inf if memory_vetoed else blas_s
+        engine = min(
+            ("packed", packed_s), ("blas", blas_effective), ("sparse", sparse_s),
+            key=lambda pair: pair[1],
+        )[0]
         return DispatchDecision(
             engine=engine,
             packed_s=packed_s,
             blas_s=blas_s,
             blas_bytes=blas_bytes,
             memory_vetoed=memory_vetoed,
+            sparse_s=sparse_s,
+            tile_fraction=fraction,
         )
 
     def __call__(self, m: int, k: int, n: int, bits_a: int, bits_b: int) -> str:

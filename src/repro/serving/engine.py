@@ -8,14 +8,22 @@ and reused — only pays off in a system that *keeps* them.  An
   bit-packed at most once per session and held in an LRU
   (:class:`~repro.serving.cache.LRUCache`) keyed on
   ``(layer, bitwidth, engine)``, so repeated traffic never re-packs.
+* **Tile-mask caching** — each executed batch's adjacency is densified,
+  1-bit packed and zero-tile censused once
+  (:class:`~repro.gnn.quantized.PackedAdjacency`), then held in a
+  content-keyed LRU with its own hit/miss telemetry; repeat traffic over
+  the same batches neither re-packs nor re-ballots the operand.
 * **Request coalescing** — submitted subgraph requests are greedily packed
   into block-diagonal :class:`~repro.graph.batching.SubgraphBatch` rounds
   (Cluster-GCN / batched-GIN style, bounded by ``batch_size`` members and
   ``max_batch_nodes`` nodes) and executed in one forward pass.
-* **Cost-model dispatch** — each bit-GEMM is routed to the ``packed`` or
-  ``blas`` host engine by a
+* **Cost-model dispatch** — each bit-GEMM is routed to the ``packed``,
+  ``blas`` or ``sparse`` host engine by a
   :class:`~repro.serving.dispatch.CostModelDispatcher` priced from
-  :mod:`repro.tc.costmodel` work measures.
+  :mod:`repro.tc.costmodel` work measures.  Before each round the engine
+  reports the batch's *measured* non-zero-tile fraction to the dispatcher,
+  which is what routes large coalesced block-diagonal batches (mostly
+  zero between members) to the zero-tile-skipping ``sparse`` engine.
 
 Activation quantization parameters are frozen per site on first use
 (:class:`~repro.gnn.quantized.ActivationCalibration`), which makes results
@@ -29,6 +37,7 @@ both measured host wall-clock and modeled device time.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -41,7 +50,9 @@ from ..errors import ConfigError
 from ..gnn.models import GNNModel
 from ..gnn.quantized import (
     ActivationCalibration,
+    PackedAdjacency,
     PackedLayerWeight,
+    pack_batch_adjacency,
     pack_layer_weight,
     quantized_forward,
 )
@@ -57,7 +68,7 @@ from ..runtime.report import EpochReport
 from ..tc.costmodel import TCCostModel
 from ..tc.hardware import RTX3090, DeviceSpec
 from ..tc.kernel import KernelConfig
-from .cache import CacheStats, LRUCache, WeightCacheKey
+from .cache import AdjacencyCacheKey, CacheStats, LRUCache, WeightCacheKey
 from .dispatch import CostModelDispatcher
 
 __all__ = [
@@ -68,7 +79,7 @@ __all__ = [
     "InferenceEngine",
 ]
 
-_ENGINE_CHOICES = ("cost", "auto", "packed", "blas")
+_ENGINE_CHOICES = ("cost", "auto", "packed", "blas", "sparse")
 
 
 @dataclass(frozen=True)
@@ -85,6 +96,11 @@ class ServingConfig:
     max_batch_nodes: int = 4096
     #: LRU capacity (entries) of the packed-weight cache.
     weight_cache_capacity: int = 32
+    #: LRU capacity (entries) of the per-batch packed-adjacency/tile-mask
+    #: cache.  Sized for the working set of distinct batches a session
+    #: replays; each entry holds the packed planes, tile-skip plan and
+    #: degree vector of one coalesced batch.
+    adjacency_cache_capacity: int = 16
     #: ``"cost"`` routes each GEMM through the cost-model dispatcher;
     #: the literal names force one host engine for the whole session.
     engine: str = "cost"
@@ -108,6 +124,11 @@ class ServingConfig:
         if self.max_batch_nodes < 1:
             raise ConfigError(
                 f"max_batch_nodes must be >= 1, got {self.max_batch_nodes}"
+            )
+        if self.adjacency_cache_capacity < 1:
+            raise ConfigError(
+                "adjacency_cache_capacity must be >= 1, got "
+                f"{self.adjacency_cache_capacity}"
             )
         if self.engine not in _ENGINE_CHOICES:
             raise ConfigError(
@@ -147,9 +168,15 @@ class SessionStats:
     nodes: int = 0
     mma_ops: int = 0
     kernel_launches: int = 0
+    #: A-operand tiles inspected by executed kernels (measured).
+    tiles_total: int = 0
+    #: Tiles the zero-tile ballot skipped in executed kernels (measured —
+    #: these are the tiles the ``sparse`` host engine never computes).
+    tiles_skipped: int = 0
     #: Measured host seconds spent inside batch execution.
     wall_s: float = 0.0
     weight_cache: CacheStats = field(default_factory=CacheStats)
+    adjacency_cache: CacheStats = field(default_factory=CacheStats)
 
     @property
     def requests_per_s(self) -> float:
@@ -164,6 +191,13 @@ class SessionStats:
         if not self.batches:
             return 0.0
         return self.requests / self.batches
+
+    @property
+    def measured_skip_fraction(self) -> float:
+        """Fraction of inspected tiles that executed kernels jumped."""
+        if not self.tiles_total:
+            return 0.0
+        return self.tiles_skipped / self.tiles_total
 
 
 class InferenceEngine:
@@ -194,6 +228,9 @@ class InferenceEngine:
         self._weights: LRUCache[WeightCacheKey, PackedLayerWeight] = LRUCache(
             self.config.weight_cache_capacity, size_of=lambda w: w.nbytes
         )
+        self._adjacency: LRUCache[AdjacencyCacheKey, PackedAdjacency] = LRUCache(
+            self.config.adjacency_cache_capacity, size_of=lambda a: a.nbytes
+        )
         self._engine: Engine
         if self.config.engine == "cost":
             self._engine = CostModelDispatcher(self.config.device)
@@ -202,7 +239,10 @@ class InferenceEngine:
         self._pending: deque[InferenceRequest] = deque()
         self._next_request_id = 0
         self._next_batch_id = 0
-        self.stats = SessionStats(weight_cache=self._weights.stats)
+        self.stats = SessionStats(
+            weight_cache=self._weights.stats,
+            adjacency_cache=self._adjacency.stats,
+        )
         self._cost = TCCostModel(self.config.device)
         self._run_config = QGTCRunConfig(
             feature_bits=self.config.feature_bits,
@@ -245,6 +285,45 @@ class InferenceEngine:
         """Pack all layer weights ahead of traffic; returns ``self``."""
         self.packed_weights()
         return self
+
+    # ------------------------------------------------------------------ #
+    # Packed-adjacency / tile-mask cache
+    # ------------------------------------------------------------------ #
+    @property
+    def adjacency_cache(self) -> LRUCache[AdjacencyCacheKey, PackedAdjacency]:
+        """The session's per-batch packed-adjacency/tile-mask LRU."""
+        return self._adjacency
+
+    @staticmethod
+    def _batch_key(batch: SubgraphBatch) -> AdjacencyCacheKey:
+        # Content-derived identity: two batches coalescing structurally
+        # identical member subgraphs in the same order share packed planes,
+        # tile masks and degrees.  The CSR arrays are digested rather than
+        # stored so a key stays O(members) in size; the full 16-byte digest
+        # is kept (not truncated through ``hash()``) because a colliding
+        # key would silently serve another batch's adjacency.
+        def digest(sub: Subgraph) -> bytes:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(sub.graph.indptr.tobytes())
+            h.update(b"|")
+            h.update(sub.graph.indices.tobytes())
+            return h.digest()
+
+        return tuple(
+            (sub.num_nodes, sub.num_edges, digest(sub)) for sub in batch.members
+        )
+
+    def packed_adjacency_for(self, batch: SubgraphBatch) -> PackedAdjacency:
+        """The batch's packed adjacency + tile-skip plan, via the LRU.
+
+        First execution of a batch densifies, packs and ballots (miss);
+        replaying the same round is pure cache traffic, so the zero-tile
+        census the ``sparse`` engine consumes is taken once per distinct
+        batch rather than once per request.
+        """
+        return self._adjacency.get_or_build(
+            self._batch_key(batch), lambda: pack_batch_adjacency(batch)
+        )
 
     # ------------------------------------------------------------------ #
     # Request intake
@@ -345,6 +424,13 @@ class InferenceEngine:
         batch = SubgraphBatch(members=tuple(r.subgraph for r in requests))
         weights = self.packed_weights()
         start = time.perf_counter()
+        adjacency = self.packed_adjacency_for(batch)
+        if isinstance(self._engine, CostModelDispatcher):
+            # Hand the dispatcher this round's measured census so it can
+            # price the sparse engine from observation, not assumption.
+            self._engine.observe_tile_fraction(
+                adjacency.nonzero_fraction, nodes=batch.num_nodes
+            )
         forward = quantized_forward(
             self.model,
             batch,
@@ -352,6 +438,7 @@ class InferenceEngine:
             kernel_config=self.config.kernel,
             apply_softmax=self.config.apply_softmax,
             packed_weights=weights,
+            packed_adjacency=adjacency,
             calibration=self.calibration,
             engine=self._engine,
         )
@@ -365,6 +452,8 @@ class InferenceEngine:
         totals = forward.total_counters
         self.stats.mma_ops += totals.mma_ops
         self.stats.kernel_launches += totals.launches
+        self.stats.tiles_total += totals.tiles_total
+        self.stats.tiles_skipped += totals.tiles_skipped
         if self.config.track_device_time:
             self.device_report.merge(
                 modeled_batch_report(

@@ -10,7 +10,9 @@ from .kernel import (
     KernelConfig,
     KernelResult,
     ReuseMode,
+    TileSkipPlan,
     derive_tile_counters,
+    plan_tile_skip,
 )
 from .wmma import bmma_sync, load_matrix_sync, store_matrix_sync
 from .zerotile import TileSummary, tile_nonzero_mask, zero_tile_summary
@@ -31,6 +33,7 @@ __all__ = [
     "KernelResult",
     "ReuseMode",
     "TCCostModel",
+    "TileSkipPlan",
     "TileSummary",
     "TimeBreakdown",
     "bmma_sync",
@@ -38,6 +41,7 @@ __all__ = [
     "get_device",
     "load_matrix_sync",
     "make_fragment",
+    "plan_tile_skip",
     "store_matrix_sync",
     "tflops",
     "tile_nonzero_mask",

@@ -41,10 +41,81 @@ __all__ = [
     "KernelConfig",
     "BitGemmKernel",
     "KernelResult",
+    "TileSkipPlan",
     "derive_tile_counters",
+    "plan_tile_skip",
 ]
 
 ReuseMode = Literal["cross-bit", "cross-tile"]
+
+
+@dataclass(frozen=True)
+class TileSkipPlan:
+    """Per-plane non-zero tile censuses of a packed left operand (§4.3).
+
+    The single source of truth for which ``8 x 128`` tiles a zero-tile
+    jumping execution touches: the kernel emulator derives its skipped-tile
+    counters from it, the ``sparse`` host engine executes exactly the tiles
+    it marks, and a serving session caches it per batch so the ballot is
+    taken once per adjacency rather than once per request.
+    """
+
+    #: One ``(mt, kt)`` boolean mask per bit plane of the left operand.
+    masks: tuple[np.ndarray, ...]
+
+    def __post_init__(self) -> None:
+        if not self.masks:
+            raise ShapeError("a tile-skip plan needs at least one plane mask")
+        first = self.masks[0].shape
+        for mask in self.masks:
+            if mask.ndim != 2 or mask.shape != first:
+                raise ShapeError("plane masks must share one 2-D tile grid")
+
+    @property
+    def bits(self) -> int:
+        return len(self.masks)
+
+    @property
+    def tile_grid(self) -> tuple[int, int]:
+        """``(mt, kt)`` tile counts of each plane."""
+        return self.masks[0].shape
+
+    @property
+    def total_tiles(self) -> int:
+        """Tiles across all planes — what a non-jumping kernel processes."""
+        return self.masks[0].size * self.bits
+
+    @property
+    def nonzero_tiles(self) -> int:
+        """Tiles that survive the ballot and must be computed."""
+        return sum(int(mask.sum()) for mask in self.masks)
+
+    @property
+    def nonzero_fraction(self) -> float:
+        """Fraction of tiles a jumping execution still processes."""
+        if self.total_tiles == 0:
+            return 0.0
+        return self.nonzero_tiles / self.total_tiles
+
+    def processed_per_plane(self) -> list[int]:
+        """Surviving tile count of each plane (feeds the counter closed forms)."""
+        return [int(mask.sum()) for mask in self.masks]
+
+    def matches(self, operand: PackedBits) -> bool:
+        """Whether this plan describes ``operand``'s plane/tile geometry."""
+        return self.bits == operand.bits and self.tile_grid == (
+            operand.padded_vectors // 8,
+            operand.k_words // 4,
+        )
+
+
+def plan_tile_skip(operand: PackedBits) -> TileSkipPlan:
+    """Census every plane of a packed left operand into a reusable plan."""
+    return TileSkipPlan(
+        masks=tuple(
+            tile_nonzero_mask(operand.plane(i)) for i in range(operand.bits)
+        )
+    )
 
 
 @dataclass(frozen=True)
@@ -188,28 +259,49 @@ class BitGemmKernel:
     # Fast path
     # ------------------------------------------------------------------ #
     def run(
-        self, a: PackedBits, b: PackedBits, *, engine: Engine = "auto"
+        self,
+        a: PackedBits,
+        b: PackedBits,
+        *,
+        engine: Engine = "auto",
+        plan: TileSkipPlan | None = None,
     ) -> KernelResult:
         """Execute the kernel: vectorized math + closed-form counters.
 
         The closed forms are derived from the actual zero-tile masks of the
         packed operand, so sparsity effects are measured, not assumed.
+        ``plan`` optionally supplies a precomputed census of ``a`` (e.g.
+        from a serving session's tile-mask cache); it feeds both the
+        counters and the ``sparse`` host engine, so a cached plan is balloted
+        exactly once per operand instead of once per launch.
         """
         _check_operands(a, b)
-        counters = self._derive_counters(a, b)
-        output = bitgemm(a, b, engine=engine)
+        if plan is not None and not plan.matches(a):
+            raise ShapeError(
+                f"tile-skip plan for grid {plan.tile_grid} x {plan.bits} planes "
+                f"does not describe the left operand "
+                f"({a.padded_vectors // 8}, {a.k_words // 4}) x {a.bits}"
+            )
+        if plan is None and (self.config.zero_tile_jumping and a.bits == 1):
+            plan = plan_tile_skip(a)
+        counters = self._derive_counters(a, b, plan)
+        output = bitgemm(
+            a, b, engine=engine, tile_masks=plan.masks if plan is not None else None
+        )
         return KernelResult(output=output, counters=counters)
 
-    def _derive_counters(self, a: PackedBits, b: PackedBits) -> KernelCounters:
+    def _derive_counters(
+        self, a: PackedBits, b: PackedBits, plan: TileSkipPlan | None = None
+    ) -> KernelCounters:
         mt = a.padded_vectors // 8
         kt = a.k_words // 4
         nt = b.padded_vectors // 8
         jumping = self.config.zero_tile_jumping and a.bits == 1
         total_mk = mt * kt
         if jumping:
-            processed_per_plane = [
-                int(tile_nonzero_mask(a.plane(i)).sum()) for i in range(a.bits)
-            ]
+            if plan is None:
+                plan = plan_tile_skip(a)
+            processed_per_plane = plan.processed_per_plane()
         else:
             processed_per_plane = [total_mk] * a.bits
         counters = derive_tile_counters(

@@ -16,41 +16,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import ShapeError
+# The ballot emulation itself lives in ``core`` (the ``sparse`` host engine
+# shares it); re-exported here because §4.3 is where the paper defines it.
+from ..core.bitpack import tile_nonzero_mask
 from .counters import KernelCounters
 
 __all__ = ["tile_nonzero_mask", "zero_tile_summary", "TileSummary"]
 
 from dataclasses import dataclass
-
-
-def tile_nonzero_mask(plane_words: np.ndarray) -> np.ndarray:
-    """Boolean mask of non-zero ``8 x 128``-bit tiles of a packed plane.
-
-    Parameters
-    ----------
-    plane_words:
-        Packed 1-bit plane, shape ``(padded_vectors, k_words)`` uint32 with
-        ``padded_vectors % 8 == 0`` and ``k_words % 4 == 0`` (guaranteed by
-        PAD8/PAD128 packing).
-
-    Returns
-    -------
-    ``(padded_vectors // 8, k_words // 4)`` boolean array; ``True`` marks a
-    tile that contains at least one set bit and must be processed.
-    """
-    if plane_words.ndim != 2:
-        raise ShapeError("expected a 2-D packed plane")
-    rows, kwords = plane_words.shape
-    if rows % 8 or kwords % 4:
-        raise ShapeError(
-            f"plane shape {plane_words.shape} is not a whole number of 8x128 tiles"
-        )
-    tiles = plane_words.reshape(rows // 8, 8, kwords // 4, 4)
-    # Per-thread uint4 OR (axis -1), then the warp-ballot across the 8 rows
-    # (axis 1): nonzero ballot == tile has an edge.
-    per_row = np.bitwise_or.reduce(tiles, axis=-1)
-    return np.bitwise_or.reduce(per_row, axis=1) != 0
 
 
 @dataclass(frozen=True)

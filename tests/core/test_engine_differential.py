@@ -1,0 +1,175 @@
+"""Differential harness: every host engine is bit-identical to the oracle.
+
+AE-style randomized validation (in the spirit of the PPoPP'22 artifact):
+seeded sweeps over shapes — including empty subgraphs, single-node
+matrices and non-multiple-of-8 rows — crossed with bitwidths 1-8 and the
+three host engines {packed, blas, sparse}, every product asserted equal to
+``matmul_int_reference`` bit for bit.  The sparse engine additionally gets
+structure-directed cases (block-diagonal, all-zero, stale/foreign masks)
+because its correctness argument — skipped tiles contribute nothing — is
+exactly what these tests pin down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitgemm import (
+    ENGINE_NAMES,
+    bitgemm,
+    bitgemm_codes,
+    bmm_plane_packed,
+    bmm_plane_packed_sparse,
+    matmul_int_reference,
+)
+from repro.core.bitpack import pack_matrix, tile_nonzero_mask
+from repro.errors import ShapeError
+
+#: Shape corners of the sweep: (M, K, N).
+SHAPES = [
+    (0, 96, 8),  # empty subgraph: no rows at all
+    (64, 300, 0),  # no output columns
+    (1, 1, 1),  # single node, single feature
+    (8, 128, 8),  # exactly one 8x128 tile
+    (13, 150, 24),  # non-multiple-of-8 rows, non-multiple-of-128 K
+    (40, 260, 17),  # several partial tiles on every axis
+    (129, 129, 9),  # one past every padding boundary
+]
+
+
+def _codes(rng: np.random.Generator, shape: tuple[int, int], bits: int) -> np.ndarray:
+    return rng.integers(0, 1 << bits, size=shape, dtype=np.int64)
+
+
+def _assert_all_engines_match(a, b, bits_a, bits_b, context):
+    ref = matmul_int_reference(a, b)
+    for engine in ENGINE_NAMES:
+        got = bitgemm_codes(a, b, bits_a, bits_b, engine=engine)
+        assert got.dtype == np.int64
+        np.testing.assert_array_equal(got, ref, err_msg=f"{engine} {context}")
+
+
+class TestShapeSweep:
+    """Every engine, every shape corner, a couple of bitwidth mixes."""
+
+    @pytest.mark.parametrize("shape", SHAPES, ids=lambda s: "x".join(map(str, s)))
+    @pytest.mark.parametrize("bits", [(1, 4), (3, 2)], ids=lambda b: f"{b[0]}b{b[1]}")
+    def test_engines_match_reference(self, shape, bits):
+        m, k, n = shape
+        bits_a, bits_b = bits
+        rng = np.random.default_rng(hash((m, k, n, bits_a, bits_b)) & 0xFFFF)
+        a = _codes(rng, (m, k), bits_a)
+        b = _codes(rng, (k, n), bits_b)
+        _assert_all_engines_match(a, b, bits_a, bits_b, f"shape={shape} bits={bits}")
+
+
+class TestBitwidthSweep:
+    """The full 1-8 x 1-8 bitwidth grid on one padding-hostile shape."""
+
+    @pytest.mark.parametrize("bits_a", range(1, 9))
+    @pytest.mark.parametrize("bits_b", range(1, 9))
+    def test_engines_match_reference(self, bits_a, bits_b):
+        rng = np.random.default_rng(1000 * bits_a + bits_b)
+        a = _codes(rng, (21, 140), bits_a)
+        b = _codes(rng, (140, 10), bits_b)
+        _assert_all_engines_match(a, b, bits_a, bits_b, f"bits=({bits_a},{bits_b})")
+
+
+class TestRandomizedSweep:
+    """Seeded random shapes + bitwidths; densities from empty to full."""
+
+    @pytest.mark.parametrize("trial", range(20))
+    def test_engines_match_reference(self, trial):
+        rng = np.random.default_rng(0xD1FF + trial)
+        m = int(rng.integers(0, 70))
+        k = int(rng.integers(1, 400))
+        n = int(rng.integers(0, 40))
+        bits_a = int(rng.integers(1, 9))
+        bits_b = int(rng.integers(1, 9))
+        density = float(rng.random())
+        a = _codes(rng, (m, k), bits_a) * (rng.random((m, k)) < density)
+        b = _codes(rng, (k, n), bits_b)
+        _assert_all_engines_match(
+            a, b, bits_a, bits_b, f"trial={trial} mkn=({m},{k},{n})"
+        )
+
+
+class TestSparseEngineStructure:
+    """Cases aimed at the zero-tile-skipping path specifically."""
+
+    def test_block_diagonal_skips_and_matches(self, rng):
+        # 4 members of 64 nodes: >= the off-diagonal 3/4 of tiles are zero.
+        n = 256
+        adj = np.zeros((n, n), dtype=np.int64)
+        for i in range(4):
+            lo = i * 64
+            adj[lo : lo + 64, lo : lo + 64] = (rng.random((64, 64)) < 0.2).astype(
+                np.int64
+            )
+        np.fill_diagonal(adj, 1)
+        packed_a = pack_matrix(adj, 1, layout="col")
+        mask = tile_nonzero_mask(packed_a.plane(0))
+        assert 0.0 < mask.mean() <= 0.5  # mostly zero tiles
+        feats = rng.integers(0, 256, size=(n, 24), dtype=np.int64)
+        packed_b = pack_matrix(feats, 8, layout="row")
+        sparse = bitgemm(packed_a, packed_b, engine="sparse")
+        packed = bitgemm(packed_a, packed_b, engine="packed")
+        np.testing.assert_array_equal(sparse, packed)
+        np.testing.assert_array_equal(sparse, matmul_int_reference(adj, feats))
+
+    def test_all_zero_left_operand(self):
+        a = np.zeros((32, 256), dtype=np.int64)
+        b = np.ones((256, 16), dtype=np.int64)
+        for engine in ENGINE_NAMES:
+            out = bitgemm_codes(a, b, 1, 1, engine=engine)
+            assert not out.any()
+
+    def test_plane_product_matches_packed(self, rng):
+        adj = (rng.random((40, 500)) < 0.02).astype(np.int64)
+        pa = pack_matrix(adj, 1, layout="col")
+        pb = pack_matrix(
+            rng.integers(0, 2, size=(500, 16), dtype=np.int64), 1, layout="row"
+        )
+        np.testing.assert_array_equal(
+            bmm_plane_packed_sparse(pa.plane(0), pb.plane(0)),
+            bmm_plane_packed(pa.plane(0), pb.plane(0)),
+        )
+
+    def test_precomputed_mask_is_honored(self, rng):
+        adj = (rng.random((24, 256)) < 0.05).astype(np.int64)
+        pa = pack_matrix(adj, 1, layout="col")
+        pb = pack_matrix(
+            rng.integers(0, 4, size=(256, 8), dtype=np.int64), 2, layout="row"
+        )
+        mask = tile_nonzero_mask(pa.plane(0))
+        with_mask = bitgemm(pa, pb, engine="sparse", tile_masks=[mask])
+        without = bitgemm(pa, pb, engine="sparse")
+        np.testing.assert_array_equal(with_mask, without)
+        # An all-True mask is always conservative, hence always correct.
+        full = bitgemm(
+            pa, pb, engine="sparse", tile_masks=[np.ones_like(mask)]
+        )
+        np.testing.assert_array_equal(full, without)
+
+    def test_rejects_malformed_masks(self, rng):
+        adj = (rng.random((24, 256)) < 0.05).astype(np.int64)
+        pa = pack_matrix(adj, 1, layout="col")
+        pb = pack_matrix(
+            rng.integers(0, 2, size=(256, 8), dtype=np.int64), 1, layout="row"
+        )
+        good = tile_nonzero_mask(pa.plane(0))
+        with pytest.raises(ShapeError):
+            bitgemm(pa, pb, engine="sparse", tile_masks=[good[:-1]])
+        with pytest.raises(ShapeError):
+            bitgemm(pa, pb, engine="sparse", tile_masks=[good, good])
+        with pytest.raises(ShapeError):
+            bmm_plane_packed_sparse(
+                pa.plane(0), pb.plane(0), tile_mask=good.T
+            )
+
+    def test_selector_may_return_sparse(self, rng):
+        a = _codes(rng, (16, 200), 1)
+        b = _codes(rng, (200, 12), 4)
+        out = bitgemm_codes(a, b, 1, 4, engine=lambda *args: "sparse")
+        np.testing.assert_array_equal(out, matmul_int_reference(a, b))

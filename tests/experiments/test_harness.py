@@ -18,6 +18,7 @@ from repro.experiments.common import (
     prepare_dataset,
 )
 from repro.experiments.fig7 import run_fig7c
+from repro.experiments.fig8 import format_fig8, run_fig8
 from repro.experiments.fig9 import run_fig9
 from repro.experiments.fig10 import run_fig10
 from repro.experiments.paperdata import (
@@ -100,6 +101,32 @@ class TestAnalyticHarnesses:
         assert rows[0].qgtc[1] > rows[0].qgtc[4]
         text = format_table3(rows)
         assert "CUTLASS" in text and "2048" in text
+
+
+class TestFig8GoldenRegression:
+    """The modeled zero-tile summary vs the sparse engine's measurement.
+
+    ``run_fig8``'s census comes from the O(E) CSR tile model
+    (``profile_batch``); ``measure=True`` re-derives the same counts by
+    executing every batch's aggregation GEMM through the zero-tile-skipping
+    ``sparse`` host engine and reading its kernel counters.  The two must
+    agree exactly — if the model and the hot path ever disagree, one of
+    them is lying about skipped work.
+    """
+
+    def test_modeled_census_equals_measured_skips(self):
+        rows = run_fig8(
+            datasets=["Proteins", "PPI"], scale=0.02, batch_size=4, measure=True
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row.measured_nonzero_tiles is not None
+            assert row.measured_nonzero_tiles == row.nonzero_tiles, row.dataset
+
+    def test_measure_defaults_off(self):
+        rows = run_fig8(datasets=["Proteins"], scale=0.02, batch_size=4)
+        assert rows[0].measured_nonzero_tiles is None
+        assert "Figure 8" in format_fig8(rows)
 
 
 class TestFormatTable:

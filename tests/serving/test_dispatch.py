@@ -55,6 +55,72 @@ class TestCostModelDispatcher:
             CostModelDispatcher(blas_bytes_budget=0)
 
 
+class TestSparsePricing:
+    def test_no_observation_means_no_sparse(self):
+        # Until a census is observed the sparse price is infinite: the
+        # dispatcher never guesses a sparsity it has not measured.
+        decision = CostModelDispatcher().decide(2048, 2048, 64, 1, 8)
+        assert decision.sparse_s == float("inf")
+        assert decision.tile_fraction is None
+        assert decision.engine in ("packed", "blas")
+
+    def test_large_coalesced_batch_routes_to_sparse(self):
+        # A 16-member block-diagonal round: measured fraction ~1/16 on a
+        # big adjacency GEMM makes sparse the cheapest engine.
+        dispatch = CostModelDispatcher()
+        dispatch.observe_tile_fraction(1 / 16)
+        decision = dispatch.decide(2048, 2048, 64, 1, 8)
+        assert decision.engine == "sparse"
+        assert decision.tile_fraction == 1 / 16
+        assert decision.sparse_s < decision.packed_s
+        assert decision.sparse_s < decision.blas_s
+
+    def test_small_batch_stays_dense(self):
+        # The per-group gather overhead dominates tiny products.
+        dispatch = CostModelDispatcher()
+        dispatch.observe_tile_fraction(1 / 16)
+        assert dispatch.decide(64, 64, 16, 1, 8).engine != "sparse"
+
+    def test_dense_census_never_picks_sparse(self):
+        # Fraction 1.0: sparse does packed's work plus gather overhead.
+        dispatch = CostModelDispatcher()
+        dispatch.observe_tile_fraction(1.0)
+        for shape in [(256, 256, 64), (2048, 2048, 64)]:
+            assert dispatch.decide(*shape, 1, 8).engine != "sparse"
+
+    def test_census_applies_only_to_square_adjacency_shape(self):
+        # Regression: the observed census describes the adjacency, so a
+        # *dense* 1-bit product with a different shape (e.g. the update
+        # GEMM of a 1-bit-activation session) must not inherit its
+        # sparsity discount.
+        dispatch = CostModelDispatcher()
+        dispatch.observe_tile_fraction(1 / 16, nodes=2048)
+        assert dispatch.decide(2048, 2048, 64, 1, 8).engine == "sparse"
+        # Non-square 1-bit product: census does not apply.
+        rectangular = dispatch.decide(2048, 512, 64, 1, 8)
+        assert rectangular.sparse_s == float("inf")
+        assert rectangular.tile_fraction is None
+        # Square but a different node count than observed: also excluded.
+        other_square = dispatch.decide(512, 512, 64, 1, 8)
+        assert other_square.sparse_s == float("inf")
+
+    def test_multibit_left_operand_ineligible(self):
+        # Only the 1-bit adjacency operand has a tile census.
+        dispatch = CostModelDispatcher()
+        dispatch.observe_tile_fraction(1 / 16)
+        decision = dispatch.decide(2048, 64, 64, 8, 8)
+        assert decision.sparse_s == float("inf")
+        assert decision.tile_fraction is None
+        assert decision.engine != "sparse"
+
+    def test_rejects_invalid_fraction(self):
+        dispatch = CostModelDispatcher()
+        with pytest.raises(ConfigError):
+            dispatch.observe_tile_fraction(-0.1)
+        with pytest.raises(ConfigError):
+            dispatch.observe_tile_fraction(1.5)
+
+
 class TestDispatcherAsEngineArgument:
     def test_bitgemm_accepts_dispatcher(self, rng):
         a = rng.integers(0, 8, size=(40, 150), dtype=np.int64)

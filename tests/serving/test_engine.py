@@ -1,8 +1,11 @@
 """Tests for the session-based inference engine.
 
-Covers the PR 1 acceptance points: cache hit/miss accounting, LRU
-eviction under a too-small capacity, and exact agreement between batched
-and per-request results under a shared calibration.
+Covers the PR 1 acceptance points — cache hit/miss accounting, LRU
+eviction under a too-small capacity, exact agreement between batched and
+per-request results under a shared calibration — plus the PR 2 sparse hot
+path: a coalesced block-diagonal round executed with the zero-tile-
+skipping ``sparse`` engine is bit-identical to per-request ``packed``
+execution, and the per-batch tile-mask cache accounts its traffic.
 """
 
 from __future__ import annotations
@@ -80,10 +83,40 @@ class TestResults:
             np.testing.assert_array_equal(got.logits, expected.logits)
         assert batched.stats.batches < single.stats.batches
 
+    def test_sparse_coalesced_equals_per_request_packed(self, rng):
+        # The PR 2 serving-level equivalence point: one 16-member
+        # block-diagonal round on the zero-tile-skipping engine returns the
+        # same bits as 16 per-request rounds on the dense packed engine.
+        g = planted_partition_graph(
+            320, 2400, num_communities=16, feature_dim=12, num_classes=3, rng=rng
+        )
+        members = induced_subgraphs(g, metis_like_partition(g, 16))
+        model = make_batched_gin(g.features.shape[1], 3, hidden_dim=16, seed=3)
+        coalesced = InferenceEngine(
+            model,
+            ServingConfig(
+                feature_bits=8,
+                batch_size=16,
+                max_batch_nodes=1 << 16,
+                engine="sparse",
+            ),
+        )
+        batched = coalesced.infer(members)
+        assert coalesced.stats.batches == 1  # genuinely one coalesced round
+        assert coalesced.stats.tiles_skipped > 0  # work was actually jumped
+        per_request = InferenceEngine(
+            model,
+            ServingConfig(feature_bits=8, batch_size=1, engine="packed"),
+            calibration=coalesced.calibration,
+        )
+        for sub, expected in zip(members, batched):
+            got = per_request.infer_one(sub)
+            np.testing.assert_array_equal(got.logits, expected.logits)
+
     def test_engine_choice_does_not_change_results(self, gin_model, subgraphs):
         shared = InferenceEngine(gin_model, ServingConfig(feature_bits=8))
         baseline = shared.infer(subgraphs[:4])
-        for engine_name in ("packed", "blas", "auto"):
+        for engine_name in ("packed", "blas", "auto", "sparse"):
             other = InferenceEngine(
                 gin_model,
                 ServingConfig(feature_bits=8, engine=engine_name),
@@ -143,6 +176,68 @@ class TestWeightCache:
         packed = engine.packed_weights()
         assert engine.weight_cache.nbytes == sum(w.nbytes for w in packed)
         assert len(engine.weight_cache) == gin_model.num_layers
+
+
+class TestAdjacencyCache:
+    def test_replay_hits_tile_mask_cache(self, gin_model, subgraphs):
+        engine = InferenceEngine(
+            gin_model, ServingConfig(feature_bits=8, batch_size=4)
+        )
+        engine.infer(subgraphs)  # 8 subgraphs -> 2 distinct batches
+        first = engine.stats.adjacency_cache.snapshot()
+        assert first.misses == engine.stats.batches
+        assert first.hits == 0
+        engine.infer(subgraphs)  # identical rounds: pure cache traffic
+        stats = engine.stats.adjacency_cache
+        assert stats.misses == first.misses
+        assert stats.hits == first.misses
+        assert stats.evictions == 0
+
+    def test_distinct_batches_get_distinct_entries(self, gin_model, subgraphs):
+        engine = InferenceEngine(
+            gin_model, ServingConfig(feature_bits=8, batch_size=4)
+        )
+        engine.infer(subgraphs[:4])
+        engine.infer(subgraphs[4:])
+        assert engine.stats.adjacency_cache.misses == 2
+        assert len(engine.adjacency_cache) == 2
+        assert engine.adjacency_cache.nbytes > 0
+
+    def test_eviction_under_tiny_capacity(self, gin_model, subgraphs):
+        engine = InferenceEngine(
+            gin_model,
+            ServingConfig(feature_bits=8, batch_size=4, adjacency_cache_capacity=1),
+        )
+        engine.infer(subgraphs)  # 2 batches through a 1-entry cache
+        engine.infer(subgraphs)
+        stats = engine.stats.adjacency_cache
+        assert stats.hits == 0
+        assert stats.misses == 4
+        assert stats.evictions == 3
+
+    def test_cached_plan_preserves_results(self, gin_model, subgraphs):
+        engine = InferenceEngine(
+            gin_model, ServingConfig(feature_bits=8, batch_size=4)
+        )
+        cold = engine.infer(subgraphs)
+        warm = engine.infer(subgraphs)
+        for a, b in zip(cold, warm):
+            np.testing.assert_array_equal(a.logits, b.logits)
+
+    def test_measured_skip_telemetry(self, gin_model, subgraphs):
+        engine = InferenceEngine(
+            gin_model, ServingConfig(feature_bits=8, batch_size=8)
+        )
+        engine.infer(subgraphs)
+        stats = engine.stats
+        assert stats.tiles_total > 0
+        # A coalesced block-diagonal batch always has jumpable tiles.
+        assert stats.tiles_skipped > 0
+        assert 0.0 < stats.measured_skip_fraction < 1.0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigError):
+            ServingConfig(adjacency_cache_capacity=0)
 
 
 class TestCoalescing:

@@ -5,9 +5,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.bitpack import pack_matrix
+from repro.core.bitpack import pack_matrix, tile_nonzero_mask
 from repro.errors import PackingError, ShapeError
-from repro.tc.kernel import BitGemmKernel, KernelConfig, derive_tile_counters
+from repro.tc.kernel import (
+    BitGemmKernel,
+    KernelConfig,
+    TileSkipPlan,
+    derive_tile_counters,
+    plan_tile_skip,
+)
 
 COUNTER_FIELDS = [
     "mma_ops",
@@ -115,6 +121,66 @@ class TestReuseEffect:
         ct = BitGemmKernel(KernelConfig(reuse="cross-tile")).run(pa, pb)
         cb = BitGemmKernel(KernelConfig(reuse="cross-bit")).run(pa, pb)
         assert ct.counters.mma_ops == cb.counters.mma_ops
+
+
+class TestTileSkipPlan:
+    def test_plan_matches_per_plane_masks(self, rng):
+        _, _, pa, _ = _sparse_operands(rng, m=64, k=520, density=0.001)
+        plan = plan_tile_skip(pa)
+        assert plan.bits == pa.bits == 1
+        assert plan.tile_grid == (pa.padded_vectors // 8, pa.k_words // 4)
+        np.testing.assert_array_equal(plan.masks[0], tile_nonzero_mask(pa.plane(0)))
+        assert plan.nonzero_tiles == int(plan.masks[0].sum())
+        assert plan.total_tiles == plan.masks[0].size
+        assert 0.0 < plan.nonzero_fraction < 1.0
+        assert plan.matches(pa)
+
+    def test_sparse_engine_equals_tile_loop(self, rng):
+        adj, x, pa, pb = _sparse_operands(rng)
+        kernel = BitGemmKernel(KernelConfig())
+        sparse = kernel.run(pa, pb, engine="sparse")
+        slow = kernel.run_tile_loop(pa, pb)
+        np.testing.assert_array_equal(sparse.output, adj @ x)
+        np.testing.assert_array_equal(sparse.output, slow.output)
+        for field in COUNTER_FIELDS:
+            assert getattr(sparse.counters, field) == getattr(
+                slow.counters, field
+            ), field
+
+    def test_precomputed_plan_is_equivalent(self, rng):
+        adj, x, pa, pb = _sparse_operands(rng)
+        kernel = BitGemmKernel(KernelConfig())
+        plan = plan_tile_skip(pa)
+        for engine in ("packed", "sparse"):
+            with_plan = kernel.run(pa, pb, engine=engine, plan=plan)
+            without = kernel.run(pa, pb, engine=engine)
+            np.testing.assert_array_equal(with_plan.output, without.output)
+            for field in COUNTER_FIELDS:
+                assert getattr(with_plan.counters, field) == getattr(
+                    without.counters, field
+                ), (engine, field)
+
+    def test_rejects_foreign_plan(self, rng):
+        _, _, pa, pb = _sparse_operands(rng)
+        _, _, other, _ = _sparse_operands(rng, m=80, k=400)
+        with pytest.raises(ShapeError):
+            BitGemmKernel().run(pa, pb, plan=plan_tile_skip(other))
+
+    def test_rejects_degenerate_plans(self):
+        with pytest.raises(ShapeError):
+            TileSkipPlan(masks=())
+        with pytest.raises(ShapeError):
+            TileSkipPlan(
+                masks=(np.ones((2, 2), bool), np.ones((2, 3), bool))
+            )
+
+    def test_multibit_plan_counts_all_planes(self, rng):
+        a = rng.integers(0, 8, (16, 130))
+        pa = pack_matrix(a, 3, layout="col")
+        plan = plan_tile_skip(pa)
+        assert plan.bits == 3
+        assert plan.total_tiles == 3 * plan.masks[0].size
+        assert plan.processed_per_plane() == [int(m.sum()) for m in plan.masks]
 
 
 class TestValidation:
