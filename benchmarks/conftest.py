@@ -12,6 +12,9 @@ the cost of running the harness itself.
 
 from __future__ import annotations
 
+import json
+import os
+import pathlib
 import sys
 
 import pytest
@@ -28,6 +31,22 @@ def emit(benchmark, text: str) -> None:
     benchmark.extra_info["table"] = text
 
 
+def emit_json(name: str, payload: dict) -> pathlib.Path:
+    """Write a machine-readable benchmark record to ``BENCH_<name>.json``.
+
+    CI uploads these as artifacts so the perf trajectory (median wall-clock
+    and speedup ratios) is tracked across PRs.  ``BENCH_JSON_DIR`` overrides
+    the output directory (default: the current working directory, i.e. the
+    repo root when run as ``pytest benchmarks/...``).
+    """
+    out_dir = pathlib.Path(os.environ.get("BENCH_JSON_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    sys.stdout.write(f"\n[bench-json] wrote {path}\n")
+    return path
+
+
 @pytest.fixture
 def once():
     return run_once
@@ -36,3 +55,8 @@ def once():
 @pytest.fixture
 def report():
     return emit
+
+
+@pytest.fixture
+def bench_json():
+    return emit_json

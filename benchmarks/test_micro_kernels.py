@@ -14,9 +14,8 @@ import pytest
 
 from repro.core.bitgemm import bitgemm, bmm_plane_blas, bmm_plane_packed
 from repro.core.bitops import popcount
-from repro.core.bitpack import pack_matrix, unpack_matrix
+from repro.core.bitpack import pack_matrix, tile_nonzero_mask, unpack_matrix
 from repro.tc.kernel import BitGemmKernel, KernelConfig
-from repro.tc.zerotile import tile_nonzero_mask
 
 RNG = np.random.default_rng(2022)
 # Block-diagonal adjacency (4 batched subgraphs of 256 nodes): dense inside

@@ -5,6 +5,10 @@ Tensor Core* (Wang, Feng, Ding — PPoPP 2022) as a pure-Python library:
 
 * :mod:`repro.core` — quantization, bit decomposition, 3D-stacked bit
   compression, any-bitwidth bit-GEMM, and the bit-Tensor API.
+* :mod:`repro.plan` — the plan/execute split: an ExecutionPlan IR
+  (per-GEMM quantize/pack/census/backend nodes), the pluggable backend
+  registry with capability metadata and cost pricers, and the unified
+  content-keyed plan cache.
 * :mod:`repro.tc` — a functional + analytical Tensor Core emulator (WMMA
   tiles, zero-tile jumping, non-zero tile reuse, cost model).
 * :mod:`repro.graph` — CSR graphs, synthetic dataset generators matching the
@@ -17,8 +21,9 @@ Tensor Core* (Wang, Feng, Ding — PPoPP 2022) as a pure-Python library:
   packing, inter-layer fusion, end-to-end executor.
 * :mod:`repro.baselines` — DGL-like fp32, cuBLAS-int8 and CUTLASS-int4
   execution models.
-* :mod:`repro.serving` — session-based inference serving: packed-weight
-  LRU caching, request coalescing, cost-model engine dispatch.
+* :mod:`repro.serving` — session-based inference serving: compiled-plan
+  replay over a unified plan cache, request coalescing, cost-model
+  backend dispatch.
 * :mod:`repro.experiments` — one harness per paper table/figure.
 
 Quickstart::

@@ -13,20 +13,28 @@ We reproduce both with NumPy in/out, returning results instead of writing
 into a preallocated ``C`` (the CUDA calling convention does not translate to
 NumPy idiom; the arithmetic is identical).
 
-Every entry point takes an ``engine`` argument: one of the literal names
-``"auto"``/``"packed"``/``"blas"`` or an
+Every entry point takes an ``engine`` argument — ``"auto"``, any backend
+name registered in the :class:`~repro.plan.registry.BackendRegistry`
+(built-ins: ``"packed"``/``"blas"``/``"sparse"``), or an
 :data:`~repro.core.bitgemm.EngineSelector` callable that picks the engine
 per product from the GEMM shape — the hook the serving layer
 (:mod:`repro.serving`) uses to dispatch requests through its cost model.
+The string/callable form is a compatibility shim over the registry; pass
+``registry=`` to resolve against a non-default one.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import BitwidthError, ShapeError
 from .bitgemm import Engine, EngineSelector, bitgemm
 from .bittensor import BitTensor, requantize_codes, to_bit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..plan.registry import BackendRegistry
 
 __all__ = [
     "Engine",
@@ -56,7 +64,11 @@ def _check_operands(a: BitTensor, b: BitTensor) -> None:
 
 
 def bit_mm_to_int(
-    a: BitTensor, b: BitTensor, *, engine: Engine = "auto"
+    a: BitTensor,
+    b: BitTensor,
+    *,
+    engine: Engine = "auto",
+    registry: "BackendRegistry | None" = None,
 ) -> np.ndarray:
     """Any-bitwidth GEMM with full-precision (int64) output.
 
@@ -64,7 +76,7 @@ def bit_mm_to_int(
     accumulated with its shift weight into a full-width integer result.
     """
     _check_operands(a, b)
-    return bitgemm(a.packed, b.packed, engine=engine)
+    return bitgemm(a.packed, b.packed, engine=engine, registry=registry)
 
 
 def bit_mm_to_bit(
@@ -75,6 +87,7 @@ def bit_mm_to_bit(
     layout_c: str = "col",
     pad_vectors_c: int = 128,
     engine: Engine = "auto",
+    registry: "BackendRegistry | None" = None,
 ) -> BitTensor:
     """Any-bitwidth GEMM whose output is requantized to ``bit_c`` bits.
 
@@ -84,7 +97,7 @@ def bit_mm_to_bit(
     """
     if bit_c < 1 or bit_c > 32:
         raise BitwidthError(f"bit_C must be in [1, 32], got {bit_c}")
-    full = bit_mm_to_int(a, b, engine=engine)
+    full = bit_mm_to_int(a, b, engine=engine, registry=registry)
     codes = requantize_codes(full, bit_c)
     return to_bit(codes, bit_c, layout=layout_c, pad_vectors=pad_vectors_c)
 

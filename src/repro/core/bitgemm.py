@@ -28,12 +28,17 @@ Each 1-bit GEMM is an AND + popcount over the packed K dimension
 
 All engines are tested against each other and against an int64 reference.
 
-Engine selection is pluggable: every ``engine=`` parameter accepts the
-literal names above *or* an :data:`EngineSelector` — a callable
-``(m, k, n, bits_a, bits_b) -> "packed" | "blas" | "sparse"`` — so callers
-such as the serving dispatcher (:mod:`repro.serving.dispatch`) can pick the
-engine per product from a cost model instead of the built-in size
-threshold.
+Engines are *registered objects*: each lives in the
+:class:`~repro.plan.registry.BackendRegistry` as a
+:class:`~repro.plan.registry.Backend` carrying capability metadata and a
+cost pricer (see :mod:`repro.plan.backends` for the three built-ins).  The
+``engine=`` parameters here are a compatibility shim over that registry:
+they accept the literal names above, any custom backend name registered
+via :func:`repro.plan.register_backend`, *or* an :data:`EngineSelector` —
+a callable ``(m, k, n, bits_a, bits_b) -> name`` — so callers such as the
+serving dispatcher (:mod:`repro.serving.dispatch`) can pick the engine per
+product from a cost model instead of the built-in size threshold.  Pass
+``registry=`` to resolve names against a non-default registry.
 
 Scalar- and vector-level decomposed products (Eq. 5/6 verbatim) are included
 as executable documentation; the test-suite uses them as independent oracles.
@@ -41,7 +46,7 @@ as executable documentation; the test-suite uses them as independent oracles.
 
 from __future__ import annotations
 
-from typing import Callable, Literal, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Sequence, Union
 
 import numpy as np
 
@@ -49,6 +54,9 @@ from ..errors import BitwidthError, PackingError, ShapeError
 from .bitdecomp import bit_decompose
 from .bitops import and_popcount, popcount
 from .bitpack import PackedBits, pack_matrix, tile_nonzero_mask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (plan layers above core)
+    from ..plan.registry import BackendRegistry
 
 __all__ = [
     "ENGINE_NAMES",
@@ -63,22 +71,21 @@ __all__ = [
     "bitgemm",
     "bitgemm_codes",
     "matmul_int_reference",
+    "reduce_plane_products",
 ]
 
-EngineName = Literal["auto", "packed", "blas", "sparse"]
 #: A pluggable engine chooser: ``(m, k, n, bits_a, bits_b) -> engine name``.
 EngineSelector = Callable[[int, int, int, int, int], str]
-Engine = Union[EngineName, EngineSelector]
+#: ``"auto"``, a registered backend name, or a selector callable.
+Engine = Union[str, EngineSelector]
 
-#: Engine names an :data:`EngineSelector` may return.
+#: Names of the built-in backends (the default registry may hold more;
+#: see :func:`repro.plan.register_backend`).
 ENGINE_NAMES = ("packed", "blas", "sparse")
 
 #: Row-block size of the packed engine; caps the broadcast temporary at
 #: roughly ``block * N * k_words * 4`` bytes.
 _PACKED_ROW_BLOCK = 128
-
-#: Above this many output elements the ``auto`` engine switches to BLAS.
-_AUTO_BLAS_THRESHOLD = 256 * 256
 
 
 def scalar_mul_decomposed(a: int, b: int, bits_a: int, bits_b: int) -> int:
@@ -282,22 +289,27 @@ def bmm_plane_blas(a_plane: np.ndarray, b_plane: np.ndarray) -> np.ndarray:
     return (a.astype(np.float32) @ b.astype(np.float32).T).astype(np.int64)
 
 
-def _select_engine(
-    engine: Engine, a_packed: PackedBits, b_packed: PackedBits
-) -> str:
-    m, n = a_packed.logical_vectors, b_packed.logical_vectors
-    if callable(engine):
-        chosen = engine(m, a_packed.logical_k, n, a_packed.bits, b_packed.bits)
-        if chosen not in ENGINE_NAMES:
-            raise ShapeError(
-                f"engine selector returned {chosen!r}; expected one of {ENGINE_NAMES}"
-            )
-        return chosen
-    if engine != "auto" and engine not in ENGINE_NAMES:
-        raise ShapeError(f"unknown engine {engine!r}")
-    if engine != "auto":
-        return engine
-    return "blas" if m * n >= _AUTO_BLAS_THRESHOLD else "packed"
+def _resolve_backend(
+    engine: Engine,
+    a_packed: PackedBits,
+    b_packed: PackedBits,
+    registry: "BackendRegistry | None" = None,
+):
+    """Compatibility shim: resolve an ``engine=`` argument to a registered
+    :class:`~repro.plan.registry.Backend` (imported lazily — the plan layer
+    sits above core)."""
+    from ..plan.ir import GemmSpec
+    from ..plan.registry import default_registry, resolve_engine_name
+
+    registry = registry or default_registry()
+    spec = GemmSpec(
+        m=a_packed.logical_vectors,
+        k=a_packed.logical_k,
+        n=b_packed.logical_vectors,
+        bits_a=a_packed.bits,
+        bits_b=b_packed.bits,
+    )
+    return registry.get(resolve_engine_name(engine, spec, registry))
 
 
 def bitgemm_planes(
@@ -306,6 +318,7 @@ def bitgemm_planes(
     *,
     engine: Engine = "auto",
     tile_masks: Sequence[np.ndarray] | None = None,
+    registry: "BackendRegistry | None" = None,
 ) -> np.ndarray:
     """All pairwise 1-bit plane products of two packed matrices.
 
@@ -316,9 +329,12 @@ def bitgemm_planes(
     emulator reuses this decomposition for its cross-bit/cross-tile
     schedules.
 
-    ``tile_masks`` optionally supplies one precomputed non-zero-tile census
-    per A plane (e.g. from a serving session's tile-mask cache); consumed by
-    the ``sparse`` engine, ignored by the others.
+    Dispatches to a registered backend (:mod:`repro.plan.backends` holds
+    the built-ins) resolved from ``engine``.  ``tile_masks`` optionally
+    supplies one precomputed non-zero-tile census per A plane (e.g. from a
+    serving session's tile-mask cache); consumed by backends whose caps
+    declare ``consumes_tile_masks`` (the ``sparse`` engine), ignored by
+    the others.
     """
     if a_packed.layout != "col":
         raise PackingError("left operand must use column-wise compression")
@@ -334,39 +350,17 @@ def bitgemm_planes(
             f"tile_masks must have {a_packed.bits} entries (one per A plane), "
             f"got {len(tile_masks)}"
         )
-    m, n = a_packed.logical_vectors, b_packed.logical_vectors
-    chosen = _select_engine(engine, a_packed, b_packed)
-    out = np.empty((a_packed.bits, b_packed.bits, m, n), dtype=np.int64)
-    if chosen == "packed":
-        for i in range(a_packed.bits):
-            for j in range(b_packed.bits):
-                full = bmm_plane_packed(a_packed.plane(i), b_packed.plane(j))
-                out[i, j] = full[:m, :n]
-    elif chosen == "sparse":
-        for i in range(a_packed.bits):
-            # One census per A plane, consumed by every B plane in a single
-            # gathered pass (the host analogue of the §4.4 cross-tile
-            # schedule).
-            mask = (
-                np.asarray(tile_masks[i])
-                if tile_masks is not None
-                else tile_nonzero_mask(a_packed.plane(i))
-            )
-            grid = (a_packed.padded_vectors // 8, a_packed.k_words // 4)
-            if mask.shape != grid:
-                raise ShapeError(
-                    f"tile mask shape {mask.shape} does not match the "
-                    f"{grid} tile grid of the plane"
-                )
-            full = _sparse_plane_products(a_packed.plane(i), b_packed.words, mask)
-            out[i] = full[:, :m, :n]
-    else:
-        a_planes = a_packed.to_planes().astype(np.float32)  # (ba, M, K)
-        b_planes = b_packed.to_planes().astype(np.float32)  # (bb, K, N)
-        for i in range(a_packed.bits):
-            for j in range(b_packed.bits):
-                out[i, j] = (a_planes[i] @ b_planes[j]).astype(np.int64)
-    return out
+    backend = _resolve_backend(engine, a_packed, b_packed, registry)
+    return backend.run_planes(a_packed, b_packed, tile_masks)
+
+
+def reduce_plane_products(partial: np.ndarray) -> np.ndarray:
+    """Shift-add a ``(bits_a, bits_b, M, N)`` plane-product stack into the
+    exact int64 GEMM result (the reduction step of Algorithm 1)."""
+    bits_a, bits_b = partial.shape[0], partial.shape[1]
+    shifts = np.arange(bits_a)[:, None] + np.arange(bits_b)[None, :]
+    weights = (np.int64(1) << shifts.astype(np.int64))[:, :, None, None]
+    return np.sum(partial * weights, axis=(0, 1), dtype=np.int64)
 
 
 def bitgemm(
@@ -375,6 +369,7 @@ def bitgemm(
     *,
     engine: Engine = "auto",
     tile_masks: Sequence[np.ndarray] | None = None,
+    registry: "BackendRegistry | None" = None,
 ) -> np.ndarray:
     """Any-bitwidth GEMM: shift-add all plane products (Algorithm 1).
 
@@ -382,11 +377,10 @@ def bitgemm(
     shape ``(M, N)``.  ``tile_masks`` forwards precomputed per-plane tile
     censuses to the ``sparse`` engine (see :func:`bitgemm_planes`).
     """
-    partial = bitgemm_planes(a_packed, b_packed, engine=engine, tile_masks=tile_masks)
-    bits_a, bits_b = partial.shape[0], partial.shape[1]
-    shifts = np.arange(bits_a)[:, None] + np.arange(bits_b)[None, :]
-    weights = (np.int64(1) << shifts.astype(np.int64))[:, :, None, None]
-    return np.sum(partial * weights, axis=(0, 1), dtype=np.int64)
+    partial = bitgemm_planes(
+        a_packed, b_packed, engine=engine, tile_masks=tile_masks, registry=registry
+    )
+    return reduce_plane_products(partial)
 
 
 def bitgemm_codes(
@@ -396,8 +390,9 @@ def bitgemm_codes(
     bits_b: int,
     *,
     engine: Engine = "auto",
+    registry: "BackendRegistry | None" = None,
 ) -> np.ndarray:
     """Convenience wrapper: decompose, pack, multiply in one call."""
     a_packed = pack_matrix(a_codes, bits_a, layout="col")
     b_packed = pack_matrix(b_codes, bits_b, layout="row")
-    return bitgemm(a_packed, b_packed, engine=engine)
+    return bitgemm(a_packed, b_packed, engine=engine, registry=registry)

@@ -19,6 +19,7 @@ from .quantized import (
     PackedAdjacency,
     PackedLayerWeight,
     QuantizedForwardResult,
+    execute_forward_plan,
     pack_batch_adjacency,
     pack_layer_weight,
     quantize_model_weights,
@@ -41,6 +42,7 @@ __all__ = [
     "batch_norm",
     "cross_entropy",
     "cross_entropy_grad",
+    "execute_forward_plan",
     "fake_quantize",
     "log_softmax",
     "make_batched_gin",

@@ -43,11 +43,26 @@ them:
 When none is supplied the behavior is the original one-shot path: weights
 and the adjacency are re-packed per call and activations calibrate per
 tensor.
+
+Plan/execute split
+------------------
+The forward pass is structured as *compile once, replay many*: a
+:class:`~repro.plan.ir.ExecutionPlan` (built by
+:func:`repro.plan.ir.compile_forward_plan`) records each layer's GEMM
+shapes, bitwidths, quantize sites, pack/census cache keys and the backend
+resolved for every product; :func:`execute_forward_plan` replays a plan on
+a batch, resolving request-invariant artifacts (packed weights, the packed
+adjacency) through a :class:`~repro.plan.cache.PlanCache` when one is
+supplied.  :func:`quantized_forward` is the eager compatibility shim —
+compile + execute in one call — and its ``packed_weights=`` /
+``packed_adjacency=`` arguments simply seed the corresponding plan-node
+artifacts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -56,16 +71,21 @@ from ..core.bitpack import PackedBits, pack_matrix
 from ..core.quantization import QuantParams, calibrate, quantize
 from ..errors import BitwidthError, ConfigError, ShapeError
 from ..graph.batching import SubgraphBatch
+from ..plan.ir import ExecutionPlan, GemmStep, QuantizeStep, compile_forward_plan
 from ..tc.counters import KernelCounters
 from ..tc.kernel import BitGemmKernel, KernelConfig, TileSkipPlan, plan_tile_skip
 from .activations import relu, softmax
 from .models import GNNModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..plan.cache import PlanCache
 
 __all__ = [
     "ActivationCalibration",
     "PackedAdjacency",
     "PackedLayerWeight",
     "QuantizedForwardResult",
+    "execute_forward_plan",
     "pack_batch_adjacency",
     "pack_layer_weight",
     "quantize_model_weights",
@@ -250,6 +270,7 @@ def _affine_product(
     kernel: BitGemmKernel,
     counters: list[KernelCounters],
     engine: Engine,
+    registry=None,
 ) -> np.ndarray:
     """Full affine-corrected product of a quantized matrix and a packed weight."""
     k = q_left.shape[1]
@@ -258,7 +279,7 @@ def _affine_product(
             f"inner dims differ: {q_left.shape} x {weight.packed.logical_shape}"
         )
     packed_l = pack_matrix(q_left, p_left.bits, layout="col")
-    res = kernel.run(packed_l, weight.packed, engine=engine)
+    res = kernel.run(packed_l, weight.packed, engine=engine, registry=registry)
     counters.append(res.counters)
     s_l, c_l = p_left.scale, _mid_offset(p_left)
     s_r, c_r = weight.params.scale, _mid_offset(weight.params)
@@ -269,6 +290,133 @@ def _affine_product(
         + c_l * s_r * weight.col_sums
         + k * c_l * c_r
     ).astype(np.float64)
+
+
+def execute_forward_plan(
+    plan: ExecutionPlan,
+    model: GNNModel,
+    batch: SubgraphBatch,
+    *,
+    packed_weights: list[PackedLayerWeight] | None = None,
+    packed_adjacency: PackedAdjacency | None = None,
+    artifacts: "PlanCache | None" = None,
+    calibration: ActivationCalibration | None = None,
+    kernel_config: KernelConfig | None = None,
+    apply_softmax: bool = False,
+    registry=None,
+) -> QuantizedForwardResult:
+    """Replay a compiled :class:`~repro.plan.ir.ExecutionPlan` on one batch.
+
+    ``registry`` resolves the plan's backend names against a non-default
+    :class:`~repro.plan.registry.BackendRegistry` — pass the same registry
+    the plan was compiled with.
+
+    Request-invariant operands hang off the plan's pack/census nodes: when
+    an ``artifacts`` cache is supplied, each node's artifact (a
+    :class:`PackedLayerWeight` per update step, one :class:`PackedAdjacency`
+    for the aggregation steps) is resolved through it under the node's
+    content key — so a serving session's replayed rounds are pure cache
+    traffic.  Explicit ``packed_weights``/``packed_adjacency`` seed the
+    artifacts directly (the eager shim's path); with neither, operands are
+    rebuilt transiently, reproducing the original one-shot behavior.
+
+    A plan compiled for a different shape refuses to run
+    (:class:`~repro.errors.ShapeError`): a stale plan is an error, never a
+    silent wrong answer.
+    """
+    sig = plan.signature
+    if len(plan.layers) != model.num_layers:
+        raise ConfigError(
+            f"plan has {len(plan.layers)} layers, model has {model.num_layers}"
+        )
+    if batch.num_nodes != sig.num_nodes:
+        raise ShapeError(
+            f"plan compiled for {sig.num_nodes} nodes cannot execute a "
+            f"{batch.num_nodes}-node batch; compile a fresh plan"
+        )
+    kernel = BitGemmKernel(kernel_config or KernelConfig())
+    counters: list[KernelCounters] = []
+
+    def resolve(key, builder):
+        if artifacts is not None and key is not None:
+            return artifacts.get_or_build(key, builder)
+        return builder()
+
+    if packed_adjacency is None:
+        packed_adjacency = resolve(
+            plan.layers[0].aggregate.pack_a.cache_key,
+            lambda: pack_batch_adjacency(batch),
+        )
+    if packed_adjacency.num_nodes != batch.num_nodes:
+        raise ShapeError(
+            f"packed adjacency covers {packed_adjacency.num_nodes} nodes, "
+            f"batch has {batch.num_nodes}"
+        )
+
+    if packed_weights is None:
+        packed_weights = [
+            resolve(
+                layer.update.pack_b.cache_key,
+                lambda w=model.weights[layer.index], bits=layer.update.spec.bits_b: (
+                    pack_layer_weight(w, bits)
+                ),
+            )
+            for layer in plan.layers
+        ]
+    elif len(packed_weights) != model.num_layers:
+        raise ConfigError(
+            f"expected {model.num_layers} packed weights, got {len(packed_weights)}"
+        )
+
+    packed_adj = packed_adjacency.packed
+    adj_plan = packed_adjacency.plan
+    degrees = packed_adjacency.degrees
+
+    h = batch.features().astype(np.float64)
+    if h.shape[1] != sig.feature_dim:
+        raise ShapeError(
+            f"plan compiled for feature_dim={sig.feature_dim} cannot execute "
+            f"a batch with {h.shape[1]} features; compile a fresh plan"
+        )
+
+    def quantize_at(
+        step: QuantizeStep, x_real: np.ndarray
+    ) -> tuple[np.ndarray, QuantParams]:
+        if calibration is None:
+            return quantize(x_real, bits=step.bits)
+        return calibration.quantize(step.site, x_real, step.bits)
+
+    def aggregate(x_real: np.ndarray, step: GemmStep) -> np.ndarray:
+        """``Â @ x`` with the adjacency exact (1-bit) and x quantized."""
+        qx, px = quantize_at(step.quantize_b, x_real)
+        packed_x = pack_matrix(qx, step.quantize_b.bits, layout="row")
+        res = kernel.run(
+            packed_adj, packed_x, engine=step.backend, plan=adj_plan,
+            registry=registry,
+        )
+        counters.append(res.counters)
+        # Â is exact binary: real = s_x * (Â q_x) + c_x * degree.
+        return px.scale * res.output + _mid_offset(px) * degrees
+
+    def update(x_real: np.ndarray, step: GemmStep, layer: int) -> np.ndarray:
+        """``x @ W + b`` with both operands quantized."""
+        qx, px = quantize_at(step.quantize_a, x_real)
+        out = _affine_product(
+            qx, px, packed_weights[layer], kernel, counters, step.backend,
+            registry=registry,
+        )
+        return out + model.biases[layer]
+
+    for layer in plan.layers:
+        if sig.aggregate_first:
+            h = update(aggregate(h, layer.aggregate), layer.update, layer.index)
+        else:
+            h = aggregate(update(h, layer.update, layer.index), layer.aggregate)
+        if not layer.is_output:
+            h = relu(h)
+
+    logits = softmax(h) if apply_softmax else h
+    return QuantizedForwardResult(logits=logits, counters=counters)
 
 
 def quantized_forward(
@@ -283,8 +431,16 @@ def quantized_forward(
     packed_adjacency: PackedAdjacency | None = None,
     calibration: ActivationCalibration | None = None,
     engine: Engine = "auto",
+    plan: ExecutionPlan | None = None,
+    artifacts: "PlanCache | None" = None,
+    registry=None,
 ) -> QuantizedForwardResult:
     """Run a quantized forward pass over one subgraph batch.
+
+    The eager entry point: compiles an :class:`~repro.plan.ir.ExecutionPlan`
+    for the batch's shape (unless a pre-compiled ``plan`` is given) and
+    executes it via :func:`execute_forward_plan`.  A serving session skips
+    this shim and replays cached plans directly.
 
     Parameters
     ----------
@@ -294,77 +450,53 @@ def quantized_forward(
     kernel_config:
         Zero-tile jumping and reuse switches for the emulated kernel.
     packed_weights:
-        Pre-packed per-layer weights (see :func:`pack_layer_weight`) —
-        supplied by a serving session so packing happens once, not per
-        request.  ``weight_bits`` is ignored when given.
+        Pre-packed per-layer weights (see :func:`pack_layer_weight`),
+        seeded as the plan's per-layer weight artifacts so packing happens
+        once, not per request.  ``weight_bits`` is ignored when given.
     packed_adjacency:
         Pre-packed batch adjacency with its tile-skip plan (see
-        :func:`pack_batch_adjacency`) — supplied by a serving session's
-        tile-mask cache so repeat executions of one batch neither re-pack
-        nor re-ballot the operand.  Must describe exactly this ``batch``.
+        :func:`pack_batch_adjacency`), seeded as the plan's adjacency
+        artifact.  Must describe exactly this ``batch``.
     calibration:
         Shared :class:`ActivationCalibration`; omit for the one-shot
         per-tensor calibration behavior.
     engine:
-        Bit-GEMM engine name or per-product selector, forwarded to every
-        kernel launch.
+        Bit-GEMM backend name or per-product selector; resolved through
+        the backend registry once per GEMM at plan-compile time.
+    plan:
+        A pre-compiled plan to replay (skips compilation; must describe
+        this batch's shape).
+    artifacts:
+        Optional :class:`~repro.plan.cache.PlanCache` the plan's operand
+        artifacts are resolved through.
 
     Returns the float logits (full-precision output layer, paper §4.5) and
     the per-kernel event counters.
     """
-    if not 1 <= feature_bits <= 32:
-        raise BitwidthError(f"feature bits must be in [1, 32], got {feature_bits}")
-    weight_bits = feature_bits if weight_bits is None else weight_bits
-    kernel = BitGemmKernel(kernel_config or KernelConfig())
-    counters: list[KernelCounters] = []
-
-    if packed_weights is None:
-        packed_weights = [pack_layer_weight(w, weight_bits) for w in model.weights]
-    elif len(packed_weights) != model.num_layers:
-        raise ConfigError(
-            f"expected {model.num_layers} packed weights, got {len(packed_weights)}"
+    if plan is None:
+        plan = compile_forward_plan(
+            model,
+            num_nodes=batch.num_nodes,
+            feature_bits=feature_bits,
+            weight_bits=weight_bits,
+            weight_bits_per_layer=(
+                [w.bits for w in packed_weights]
+                if packed_weights is not None
+                and len(packed_weights) == model.num_layers
+                else None
+            ),
+            engine=engine,
+            registry=registry,
         )
-
-    if packed_adjacency is None:
-        packed_adjacency = pack_batch_adjacency(batch)
-    elif packed_adjacency.num_nodes != batch.num_nodes:
-        raise ShapeError(
-            f"packed adjacency covers {packed_adjacency.num_nodes} nodes, "
-            f"batch has {batch.num_nodes}"
-        )
-    packed_adj = packed_adjacency.packed
-    adj_plan = packed_adjacency.plan
-    degrees = packed_adjacency.degrees
-
-    h = batch.features().astype(np.float64)
-
-    def quantize_at(site: str, x_real: np.ndarray) -> tuple[np.ndarray, QuantParams]:
-        if calibration is None:
-            return quantize(x_real, bits=feature_bits)
-        return calibration.quantize(site, x_real, feature_bits)
-
-    def aggregate(x_real: np.ndarray, layer: int) -> np.ndarray:
-        """``Â @ x`` with the adjacency exact (1-bit) and x quantized."""
-        qx, px = quantize_at(f"L{layer}/agg", x_real)
-        packed_x = pack_matrix(qx, feature_bits, layout="row")
-        res = kernel.run(packed_adj, packed_x, engine=engine, plan=adj_plan)
-        counters.append(res.counters)
-        # Â is exact binary: real = s_x * (Â q_x) + c_x * degree.
-        return px.scale * res.output + _mid_offset(px) * degrees
-
-    def update(x_real: np.ndarray, layer: int) -> np.ndarray:
-        """``x @ W + b`` with both operands quantized."""
-        qx, px = quantize_at(f"L{layer}/upd", x_real)
-        out = _affine_product(qx, px, packed_weights[layer], kernel, counters, engine)
-        return out + model.biases[layer]
-
-    for i, spec in enumerate(model.layer_specs()):
-        if model.aggregate_first:
-            h = update(aggregate(h, i), i)
-        else:
-            h = aggregate(update(h, i), i)
-        if not spec.is_output:
-            h = relu(h)
-
-    logits = softmax(h) if apply_softmax else h
-    return QuantizedForwardResult(logits=logits, counters=counters)
+    return execute_forward_plan(
+        plan,
+        model,
+        batch,
+        packed_weights=packed_weights,
+        packed_adjacency=packed_adjacency,
+        artifacts=artifacts,
+        calibration=calibration,
+        kernel_config=kernel_config,
+        apply_softmax=apply_softmax,
+        registry=registry,
+    )

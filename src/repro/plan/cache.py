@@ -1,0 +1,247 @@
+"""Content-keyed caching of plan artifacts.
+
+Home of the generic cache primitives (:class:`CacheStats`,
+:class:`LRUCache` — moved here from ``repro.serving.cache`` in the
+plan/execute split; the serving module re-exports them for
+compatibility) and of :class:`PlanCache`, the *one* cache a serving
+session holds.
+
+Before this layer existed, serving juggled three separate LRUs — packed
+weights, packed adjacencies/tile masks, and (implicitly) per-operand
+ballot reuse inside the kernel.  A :class:`PlanCache` unifies them: every
+plan artifact (packed weight, packed adjacency + census, compiled
+:class:`~repro.plan.ir.ExecutionPlan`) is stored under a content-derived
+key whose first element names its *kind*.  Kinds occupy separate LRU
+segments with independent capacities — so a burst of never-repeating
+batches cannot evict the small, hot packed weights — but share one lookup
+API, one byte accounting and one aggregated telemetry view.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Generic, Hashable, Mapping, TypeVar
+
+from ..errors import ConfigError
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "PlanCache",
+    "PlanKey",
+    "artifact_nbytes",
+]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+#: A plan-cache key: a tuple whose first element names the artifact kind,
+#: e.g. ``("weight", layer, bits, engine)``, ``("adjacency", *digests)``,
+#: ``("plan", *digests)``.
+PlanKey = tuple
+
+
+@dataclass
+class CacheStats:
+    """Running hit/miss/eviction counters of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    insertions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def snapshot(self) -> "CacheStats":
+        """An independent copy (reports should not alias live counters)."""
+        return CacheStats(self.hits, self.misses, self.evictions, self.insertions)
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Accumulate another counter set into this one; returns ``self``."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        self.insertions += other.insertions
+        return self
+
+
+class LRUCache(Generic[K, V]):
+    """A capacity-bounded least-recently-used map with stats.
+
+    ``capacity`` counts entries.  ``get`` and ``get_or_build`` refresh
+    recency; insertion beyond capacity evicts the least recently used
+    entry.  Optionally tracks the byte footprint of held values via
+    ``size_of`` (e.g. ``PackedLayerWeight.nbytes``).
+    """
+
+    def __init__(
+        self, capacity: int, *, size_of: Callable[[V], int] | None = None
+    ) -> None:
+        if capacity < 1:
+            raise ConfigError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._size_of = size_of
+        self._bytes = 0
+        self._entries: OrderedDict[K, V] = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        """Presence check — does *not* count as a lookup or refresh LRU."""
+        return key in self._entries
+
+    def keys(self) -> list[K]:
+        """Keys from least to most recently used."""
+        return list(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Byte footprint of held values (0 unless ``size_of`` was given)."""
+        return self._bytes
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: K) -> V | None:
+        """Return the cached value and mark it most recently used."""
+        value = self._entries.get(key)
+        if value is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert (or replace) a value, evicting LRU entries over capacity."""
+        if key in self._entries:
+            old = self._entries.pop(key)
+            self._bytes -= self._size_of(old) if self._size_of else 0
+        self._entries[key] = value
+        self._bytes += self._size_of(value) if self._size_of else 0
+        self.stats.insertions += 1
+        while len(self._entries) > self.capacity:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= self._size_of(evicted) if self._size_of else 0
+            self.stats.evictions += 1
+
+    def get_or_build(self, key: K, builder: Callable[[], V]) -> V:
+        """Cache-through read: build, insert and return on a miss."""
+        value = self.get(key)
+        if value is None:
+            value = builder()
+            self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries (stats are preserved — they describe history)."""
+        self._entries.clear()
+        self._bytes = 0
+
+
+def artifact_nbytes(value: object) -> int:
+    """Byte footprint a :class:`PlanCache` budgets for an artifact.
+
+    Packed operands expose ``nbytes``; pure-metadata artifacts (compiled
+    plans are a handful of frozen dataclasses) count as zero.
+    """
+    return int(getattr(value, "nbytes", 0))
+
+
+class PlanCache:
+    """One content-keyed LRU for every plan artifact kind; see module doc.
+
+    ``capacities`` maps kind names to per-segment entry capacities::
+
+        cache = PlanCache({"weight": 32, "adjacency": 16, "plan": 16})
+        w = cache.get_or_build(("weight", 0, 8, "cost"), build_weight)
+        cache.segment("weight").stats.hits   # per-kind telemetry
+        cache.total_stats().hits             # shared telemetry
+    """
+
+    def __init__(
+        self,
+        capacities: Mapping[str, int],
+        *,
+        size_of: Callable[[object], int] = artifact_nbytes,
+    ) -> None:
+        if not capacities:
+            raise ConfigError("a plan cache needs at least one artifact kind")
+        self._segments: dict[str, LRUCache] = {
+            str(kind): LRUCache(capacity, size_of=size_of)
+            for kind, capacity in capacities.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    def kinds(self) -> tuple[str, ...]:
+        """The artifact kinds this cache segments by."""
+        return tuple(self._segments)
+
+    def segment(self, kind: str) -> LRUCache:
+        """The LRU segment of one artifact kind."""
+        try:
+            return self._segments[kind]
+        except KeyError:
+            raise ConfigError(
+                f"unknown artifact kind {kind!r}; cache holds {self.kinds()}"
+            ) from None
+
+    def _segment_for(self, key: PlanKey) -> LRUCache:
+        if not isinstance(key, tuple) or not key:
+            raise ConfigError(
+                f"plan cache keys are (kind, *content) tuples, got {key!r}"
+            )
+        return self.segment(key[0])
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: PlanKey):
+        """Lookup by content key (counts a hit/miss on the key's segment)."""
+        return self._segment_for(key).get(key)
+
+    def put(self, key: PlanKey, value: object) -> None:
+        self._segment_for(key).put(key, value)
+
+    def get_or_build(self, key: PlanKey, builder: Callable[[], object]):
+        """Cache-through read on the key's kind segment."""
+        return self._segment_for(key).get_or_build(key, builder)
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, tuple) and bool(key) and (
+            key[0] in self._segments and key in self._segments[key[0]]
+        )
+
+    def __len__(self) -> int:
+        return sum(len(seg) for seg in self._segments.values())
+
+    @property
+    def nbytes(self) -> int:
+        """Byte footprint across every segment."""
+        return sum(seg.nbytes for seg in self._segments.values())
+
+    # ------------------------------------------------------------------ #
+    def telemetry(self) -> dict[str, CacheStats]:
+        """Per-kind stats snapshots (independent copies)."""
+        return {kind: seg.stats.snapshot() for kind, seg in self._segments.items()}
+
+    def total_stats(self) -> CacheStats:
+        """Aggregated stats across every kind (an independent snapshot)."""
+        total = CacheStats()
+        for seg in self._segments.values():
+            total.merge(seg.stats)
+        return total
+
+    def clear(self) -> None:
+        """Drop all entries in every segment (stats are preserved)."""
+        for seg in self._segments.values():
+            seg.clear()

@@ -1,0 +1,66 @@
+"""Calibrated host-throughput rates consumed by backend pricers.
+
+These are sustained throughputs of *this* Python process on the shipped
+benchmark workloads — unlike :class:`repro.tc.hardware.DeviceSpec`, which
+prices the emulated GPU.  They used to live as class attributes on
+:class:`repro.serving.dispatch.CostModelDispatcher`, which made
+per-machine recalibration a subclassing exercise; as a frozen dataclass a
+recalibration is just a value (``HostRates(packed_flops=...)``) passed to
+the dispatcher or to any registry pricer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["DEFAULT_HOST_RATES", "HostRates"]
+
+
+@dataclass(frozen=True)
+class HostRates:
+    """Host-side throughput calibration of the built-in backends.
+
+    Attributes
+    ----------
+    packed_flops:
+        Sustained effective bit-FLOP/s of the packed AND+popcount engine.
+    blas_flops:
+        Sustained float32 BLAS FLOP/s on plane products.
+    packed_pair_overhead_s:
+        Per plane-pair dispatch overhead (row-block loop, temporaries).
+    blas_pair_overhead_s:
+        Per plane-pair BLAS call + epilogue overhead.
+    unpack_bytes_per_s:
+        Plane unpack throughput (``np.unpackbits`` + float32 cast).
+    sparse_group_overhead_s:
+        Per tile-row-group overhead of the sparse engine (census lookup,
+        operand gather, row scatter).  A block-diagonal batch has roughly
+        one group per member ~= ``1/fraction`` groups.
+    """
+
+    packed_flops: float = 3.2e10
+    blas_flops: float = 5.5e10
+    packed_pair_overhead_s: float = 60e-6
+    blas_pair_overhead_s: float = 25e-6
+    unpack_bytes_per_s: float = 2.5e9
+    sparse_group_overhead_s: float = 150e-6
+
+    def __post_init__(self) -> None:
+        for name in ("packed_flops", "blas_flops", "unpack_bytes_per_s"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive, got {getattr(self, name)}")
+        for name in (
+            "packed_pair_overhead_s",
+            "blas_pair_overhead_s",
+            "sparse_group_overhead_s",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(
+                    f"{name} must be non-negative, got {getattr(self, name)}"
+                )
+
+
+#: The rates shipped with the repo (calibrated on the CI benchmark hosts).
+DEFAULT_HOST_RATES = HostRates()

@@ -1,0 +1,285 @@
+"""Pluggable bit-GEMM backends: engines as registered objects, not strings.
+
+:mod:`repro.core.bitgemm` historically hard-coded its three engines behind
+string literals.  Here an engine is a :class:`Backend` — a named object
+carrying capability metadata (:class:`BackendCaps`: bitwidth eligibility,
+operand-layout requirements), the plane-product implementation, and an
+optional cost pricer — registered by name in a :class:`BackendRegistry`.
+
+The existing ``engine=`` string/callable API everywhere in the repo is a
+compatibility shim over this registry: literal names are looked up,
+selector callables are invoked and their return looked up, and ``"auto"``
+keeps its historical output-size threshold (:data:`AUTO_BLAS_THRESHOLD`).
+New backends registered via :func:`register_backend` are immediately
+reachable through every ``engine=`` parameter and through the serving
+dispatcher's pricing loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError, ShapeError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..core.bitpack import PackedBits
+    from .ir import GemmSpec
+    from .rates import HostRates
+
+__all__ = [
+    "AUTO_BLAS_THRESHOLD",
+    "Backend",
+    "BackendCaps",
+    "BackendPrice",
+    "BackendRegistry",
+    "PlaneRunner",
+    "PriceContext",
+    "Pricer",
+    "default_registry",
+    "register_backend",
+    "resolve_engine_name",
+]
+
+#: Above this many output elements the ``"auto"`` rule switches to BLAS
+#: (the historical built-in size threshold, kept by the compatibility shim).
+AUTO_BLAS_THRESHOLD = 256 * 256
+
+
+@dataclass(frozen=True)
+class BackendCaps:
+    """Capability metadata of one backend.
+
+    The registry and the dispatcher consult this *before* pricing or
+    executing: a backend whose caps reject a :class:`~repro.plan.ir.GemmSpec`
+    is simply not a candidate for that product.
+    """
+
+    #: Inclusive left-operand bitwidth range the backend accepts.
+    min_bits_a: int = 1
+    max_bits_a: int = 32
+    #: Inclusive right-operand bitwidth range the backend accepts.
+    min_bits_b: int = 1
+    max_bits_b: int = 32
+    #: Required operand layouts (every built-in backend consumes the
+    #: paper's column-compressed A / row-compressed B convention).
+    layout_a: str = "col"
+    layout_b: str = "row"
+    #: Whether the backend can consume a precomputed per-plane tile census
+    #: of the left operand (the serving tile-mask cache feeds these).
+    consumes_tile_masks: bool = False
+    #: One-line human description for docs and introspection.
+    summary: str = ""
+
+    def supports(self, spec: "GemmSpec") -> bool:
+        """Whether this backend can execute a product of the given spec."""
+        return (
+            self.min_bits_a <= spec.bits_a <= self.max_bits_a
+            and self.min_bits_b <= spec.bits_b <= self.max_bits_b
+        )
+
+
+@dataclass(frozen=True)
+class BackendPrice:
+    """One backend's modeled host cost for one GEMM."""
+
+    #: Estimated host seconds (``inf`` when the backend cannot price the
+    #: product, e.g. the sparse engine without an observed census).
+    seconds: float
+    #: Working-set bytes the estimate charges (the blas engine's unpacked
+    #: float32 plane temporaries; 0 when not applicable).
+    bytes: int = 0
+    #: True when the backend is excluded by a resource budget rather than
+    #: by time (the blas memory veto).
+    vetoed: bool = False
+    #: The measured non-zero tile fraction the price used, if any.
+    tile_fraction: float | None = None
+
+    @property
+    def effective_s(self) -> float:
+        """Seconds used for engine choice: ``inf`` when vetoed."""
+        return math.inf if self.vetoed else self.seconds
+
+
+@dataclass(frozen=True)
+class PriceContext:
+    """Everything a pricer may consult for one product."""
+
+    spec: "GemmSpec"
+    #: Padded bit-FLOPs over all plane pairs (from the TC cost model's
+    #: bmma count, the same tiling §4 prescribes).
+    flops: float
+    rates: "HostRates"
+    #: Measured non-zero tile fraction of the left operand, when a census
+    #: has been observed for exactly this product's shape.
+    tile_fraction: float | None = None
+    #: Byte budget for unpacked plane temporaries (the blas memory veto);
+    #: ``None`` disables the veto.
+    blas_bytes_budget: int | None = None
+
+    @property
+    def pairs(self) -> int:
+        """Plane pairs of the product (``bits_a * bits_b``)."""
+        return self.spec.bits_a * self.spec.bits_b
+
+
+#: Plane-product implementation: ``(a_packed, b_packed, tile_masks) ->``
+#: int64 array of shape ``(bits_a, bits_b, M, N)`` on the logical shapes.
+PlaneRunner = Callable[
+    ["PackedBits", "PackedBits", "Sequence[np.ndarray] | None"], np.ndarray
+]
+#: Cost pricer: modeled host seconds (and veto state) for one product.
+Pricer = Callable[[PriceContext], BackendPrice]
+
+
+@dataclass(frozen=True)
+class Backend:
+    """A registered bit-GEMM engine; see module docstring.
+
+    Attributes
+    ----------
+    name:
+        Registry key; also the string the ``engine=`` compatibility shim
+        and :data:`~repro.core.bitgemm.EngineSelector` callables use.
+    run_planes:
+        The implementation: all pairwise 1-bit plane products of two
+        packed operands (see :data:`PlaneRunner`).
+    caps:
+        Capability metadata consulted before pricing/execution.
+    pricer:
+        Optional cost model; a backend without one executes fine but the
+        cost-model dispatcher will never route to it.
+    """
+
+    name: str
+    run_planes: PlaneRunner
+    caps: BackendCaps = field(default_factory=BackendCaps)
+    pricer: Pricer | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigError(f"backend name must be a non-empty string, got {self.name!r}")
+
+    def price(self, ctx: PriceContext) -> BackendPrice:
+        """Modeled host cost; ``inf`` seconds when the backend has no pricer."""
+        if self.pricer is None:
+            return BackendPrice(seconds=math.inf)
+        return self.pricer(ctx)
+
+
+class BackendRegistry:
+    """Named backends with capability-aware lookup and pricing."""
+
+    def __init__(self, backends: Sequence[Backend] = ()) -> None:
+        self._backends: dict[str, Backend] = {}
+        for backend in backends:
+            self.register(backend)
+
+    # ------------------------------------------------------------------ #
+    def register(self, backend: Backend, *, replace: bool = False) -> Backend:
+        """Add a backend; ``replace=True`` overrides an existing name."""
+        if backend.name in self._backends and not replace:
+            raise ConfigError(
+                f"backend {backend.name!r} is already registered; "
+                "pass replace=True to override it"
+            )
+        self._backends[backend.name] = backend
+        return backend
+
+    def unregister(self, name: str) -> Backend:
+        """Remove and return a backend by name."""
+        try:
+            return self._backends.pop(name)
+        except KeyError:
+            raise ConfigError(
+                f"unknown backend {name!r}; registered: {self.names()}"
+            ) from None
+
+    def get(self, name: str) -> Backend:
+        """Look up a backend by name (:class:`ConfigError` when unknown)."""
+        try:
+            return self._backends[name]
+        except KeyError:
+            raise ConfigError(
+                f"unknown backend {name!r}; registered: {self.names()}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        """Registered backend names, in registration order."""
+        return tuple(self._backends)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._backends
+
+    def __iter__(self) -> Iterator[Backend]:
+        return iter(self._backends.values())
+
+    def __len__(self) -> int:
+        return len(self._backends)
+
+    # ------------------------------------------------------------------ #
+    def eligible(self, spec: "GemmSpec") -> list[Backend]:
+        """Backends whose capability metadata accepts the spec."""
+        return [b for b in self if b.caps.supports(spec)]
+
+    def price_all(self, ctx: PriceContext) -> dict[str, BackendPrice]:
+        """Price every eligible, priceable backend for one product.
+
+        Insertion (registration) order is preserved, which makes engine
+        choice deterministic under price ties.
+        """
+        return {
+            b.name: b.price(ctx)
+            for b in self.eligible(ctx.spec)
+            if b.pricer is not None
+        }
+
+
+_default_registry: BackendRegistry | None = None
+
+
+def default_registry() -> BackendRegistry:
+    """The process-wide registry, created with the built-in backends."""
+    global _default_registry
+    if _default_registry is None:
+        from .backends import builtin_backends
+
+        _default_registry = BackendRegistry(builtin_backends())
+    return _default_registry
+
+
+def register_backend(backend: Backend, *, replace: bool = False) -> Backend:
+    """Register a backend into the process-wide default registry."""
+    return default_registry().register(backend, replace=replace)
+
+
+def resolve_engine_name(
+    engine: object, spec: "GemmSpec", registry: BackendRegistry | None = None
+) -> str:
+    """Resolve an ``engine=`` argument to a registered backend name.
+
+    The single definition of the compatibility shim: literal names are
+    validated against the registry, selector callables are invoked with
+    the classic ``(m, k, n, bits_a, bits_b)`` signature and their return
+    validated, and ``"auto"`` applies the historical output-size threshold
+    (which presumes the built-in ``packed``/``blas`` pair is registered).
+    Raises :class:`~repro.errors.ShapeError` for unknown names, matching
+    the pre-registry behavior callers already handle.
+    """
+    registry = registry or default_registry()
+    if callable(engine):
+        chosen = engine(spec.m, spec.k, spec.n, spec.bits_a, spec.bits_b)
+        if chosen not in registry:
+            raise ShapeError(
+                f"engine selector returned {chosen!r}; "
+                f"expected one of {registry.names()}"
+            )
+        return chosen
+    if engine == "auto":
+        return "blas" if spec.m * spec.n >= AUTO_BLAS_THRESHOLD else "packed"
+    if engine not in registry:
+        raise ShapeError(f"unknown engine {engine!r}; registered: {registry.names()}")
+    return str(engine)

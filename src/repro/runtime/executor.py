@@ -29,9 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..core.bitpack import TC_K, TC_M, pad_to
 from ..errors import ConfigError
 from ..gnn.models import GNNModel
+from ..plan.ir import GemmSpec, forward_gemm_specs
 from ..tc.costmodel import TCCostModel
 from ..tc.hardware import RTX3090, DeviceSpec
 from ..tc.kernel import KernelConfig, derive_tile_counters
@@ -85,8 +85,33 @@ class QGTCRunConfig:
         return f"QGTC ({self.feature_bits}-bit)"
 
 
-def _tiles(n: int, unit: int) -> int:
-    return max(pad_to(n, unit) // unit, 1)
+def _spec_counters(
+    spec: GemmSpec,
+    *,
+    mt: int | None = None,
+    kt: int | None = None,
+    processed_per_plane: list[int],
+    jumping: bool,
+    config: KernelConfig,
+):
+    """Closed-form counters for one planned GEMM.
+
+    Shapes and bitwidths come from the :class:`~repro.plan.ir.GemmSpec` —
+    the same nodes the executed plan dispatches — so modeled and measured
+    accounting describe identical work.  ``mt``/``kt`` may be overridden
+    with a measured tile grid (the batch profile's census grid).
+    """
+    spec_mt, spec_kt, spec_nt = spec.tile_grid()
+    return derive_tile_counters(
+        mt=spec_mt if mt is None else mt,
+        kt=spec_kt if kt is None else kt,
+        nt=spec_nt,
+        bits_a=spec.bits_a,
+        bits_b=spec.bits_b,
+        processed_per_plane=processed_per_plane,
+        jumping=jumping,
+        config=config,
+    )
 
 
 def modeled_batch_report(
@@ -119,28 +144,28 @@ def modeled_batch_report(
     jumping = config.kernel.zero_tile_jumping
     agg_processed = [profile.nnz_tiles if jumping else profile.total_tiles]
 
-    for spec in model.layer_specs():
-        # Aggregation operates on the layer's input features for GCN
-        # (aggregate-first) and on its output features for GIN
-        # (update-first).
-        agg_dim = spec.in_dim if model.aggregate_first else spec.out_dim
-        agg_counters = derive_tile_counters(
+    # The per-layer GEMM shapes/bitwidths come from the same plan nodes the
+    # executed forward dispatches (plan/ir.forward_gemm_specs), so modeled
+    # and measured counters share one source of truth by construction.
+    spec_pairs = forward_gemm_specs(
+        model, num_nodes=n, feature_bits=fb, weight_bits=wb
+    )
+    last = len(spec_pairs) - 1
+    for i, (agg_spec, upd_spec) in enumerate(spec_pairs):
+        agg_counters = _spec_counters(
+            agg_spec,
+            # The adjacency grid is the *measured* census grid of the
+            # profiled batch, not a padding recomputation.
             mt=profile.mt,
             kt=profile.kt,
-            nt=_tiles(agg_dim, TC_M),
-            bits_a=1,
-            bits_b=fb,
             processed_per_plane=agg_processed,
             jumping=jumping,
             config=config.kernel,
         )
-        upd_counters = derive_tile_counters(
-            mt=_tiles(n, TC_M),
-            kt=_tiles(spec.in_dim, TC_K),
-            nt=_tiles(spec.out_dim, TC_M),
-            bits_a=fb,
-            bits_b=wb,
-            processed_per_plane=[_tiles(n, TC_M) * _tiles(spec.in_dim, TC_K)] * fb,
+        upd_mt, upd_kt, _ = upd_spec.tile_grid()
+        upd_counters = _spec_counters(
+            upd_spec,
+            processed_per_plane=[upd_mt * upd_kt] * upd_spec.bits_a,
             jumping=False,
             config=config.kernel,
         )
@@ -158,10 +183,10 @@ def modeled_batch_report(
             report.tiles_total += counters.tiles_total
             report.tiles_skipped += counters.tiles_skipped
 
-        if not config.fused and not spec.is_output:
+        if not config.fused and i != last:
             # Unfused epilogue: bias, activation, quantize/decompose —
             # three streaming kernels over the layer output.
-            elem_bytes = 2 * n * spec.out_dim * 4
+            elem_bytes = 2 * n * upd_spec.n * 4
             for _ in range(3):
                 report.elementwise_s += (
                     device.kernel_launch_s + elem_bytes / device.effective_dram_bw

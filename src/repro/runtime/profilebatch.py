@@ -15,10 +15,9 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.bitpack import TC_K, TC_M, pad_to
+from ..core.bitpack import TC_K, TC_M, pad_to, tile_nonzero_mask
 from ..errors import ShapeError
 from ..graph.batching import Subgraph, SubgraphBatch, batch_subgraphs
-from ..tc.zerotile import tile_nonzero_mask
 
 __all__ = ["BatchProfile", "profile_batch", "profile_batches"]
 

@@ -1,22 +1,31 @@
 """Serving: session-based inference over the QGTC pipeline.
 
-The production-facing layer of the reproduction (PR 1 tentpole).  A
-:class:`~repro.serving.engine.InferenceEngine` session quantizes and
-bit-packs model weights once, caches the packed planes across requests
-(LRU, keyed on layer/bitwidth/engine), caches each batch's packed
-adjacency and zero-tile masks (content-keyed LRU), coalesces incoming
-subgraph requests into block-diagonal batched executions, and dispatches
-each bit-GEMM across the ``packed``/``blas``/``sparse`` host engines via
-the :mod:`repro.tc.costmodel`-priced dispatcher, which routes tile-sparse
-coalesced batches to the zero-tile-skipping ``sparse`` engine from each
-round's measured census.
+The production-facing layer of the reproduction.  An
+:class:`~repro.serving.engine.InferenceEngine` session is a thin consumer
+of the plan layer (:mod:`repro.plan`): the first execution of a distinct
+coalesced batch compiles an :class:`~repro.plan.ir.ExecutionPlan`
+(per-GEMM shapes, quantize sites, pack/census nodes, and the backend the
+cost-model dispatcher picked for each product from the batch's *measured*
+tile census); replays execute the cached plan.  Packed layer weights,
+per-batch packed adjacencies + tile masks, and compiled plans all live in
+one content-keyed :class:`~repro.plan.cache.PlanCache` with per-kind
+segments and shared telemetry.  Incoming subgraph requests are coalesced
+into block-diagonal batched executions bounded by member and node
+budgets.
 
-This is the seam later scaling work (sharding, async execution,
-multi-backend) plugs into: everything above it speaks
-``Subgraph in, logits out``.
+This is the seam later scaling work (sharding, async execution, new
+backends) plugs into: everything above it speaks ``Subgraph in, logits
+out``, and everything below it is described by plan nodes.
 """
 
-from .cache import AdjacencyCacheKey, CacheStats, LRUCache, WeightCacheKey
+from .cache import (
+    AdjacencyCacheKey,
+    CacheStats,
+    ForwardPlanCacheKey,
+    LRUCache,
+    PlanCache,
+    WeightCacheKey,
+)
 from .dispatch import CostModelDispatcher, DispatchDecision
 from .engine import (
     InferenceEngine,
@@ -31,10 +40,12 @@ __all__ = [
     "CacheStats",
     "CostModelDispatcher",
     "DispatchDecision",
+    "ForwardPlanCacheKey",
     "InferenceEngine",
     "InferenceRequest",
     "InferenceResult",
     "LRUCache",
+    "PlanCache",
     "ServingConfig",
     "SessionStats",
     "WeightCacheKey",

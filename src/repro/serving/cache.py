@@ -1,135 +1,44 @@
-"""LRU caching of packed bit-plane operands for the serving engine.
+"""Serving-side cache names (compatibility shim over :mod:`repro.plan.cache`).
 
-The Figure 10 "reuse" experiment is the paper's argument that bit-packed
-operands should be built once and amortized: the weight planes of a layer
-serve every request at that layer.  This module provides the session-side
-realization — a byte-aware LRU cache of
-:class:`~repro.gnn.quantized.PackedLayerWeight` entries keyed on
-``(layer, bitwidth, engine)`` with explicit hit/miss/eviction accounting so
-benchmarks and dashboards can verify the reuse is actually happening.
+.. deprecated::
+    The generic cache primitives (:class:`CacheStats`, :class:`LRUCache`)
+    and the unified :class:`PlanCache` moved to :mod:`repro.plan.cache` in
+    the plan/execute split — a session's packed weights, packed
+    adjacencies/tile masks and compiled plans now live in *one*
+    content-keyed plan cache instead of separate per-kind LRUs.  The names
+    remain importable from here; new code should import from
+    :mod:`repro.plan.cache`.
 
-The cache is deliberately generic (:class:`LRUCache`) so later scaling PRs
-can reuse it for packed adjacencies, calibration tables, or per-shard
-weight replicas.
+The key aliases document the content keys an
+:class:`~repro.serving.engine.InferenceEngine` uses; every key is a tuple
+whose first element names the artifact kind (see
+:data:`~repro.plan.cache.PlanKey`).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Callable, Generic, Hashable, TypeVar
+from ..plan.cache import CacheStats, LRUCache, PlanCache, PlanKey, artifact_nbytes
 
-from ..errors import ConfigError
+__all__ = [
+    "AdjacencyCacheKey",
+    "CacheStats",
+    "ForwardPlanCacheKey",
+    "LRUCache",
+    "PlanCache",
+    "PlanKey",
+    "WeightCacheKey",
+    "artifact_nbytes",
+]
 
-__all__ = ["AdjacencyCacheKey", "CacheStats", "LRUCache", "WeightCacheKey"]
-
-K = TypeVar("K", bound=Hashable)
-V = TypeVar("V")
-
-#: Cache key of one packed weight plane: ``(layer index, bitwidth, engine)``.
-WeightCacheKey = tuple[int, int, str]
+#: Cache key of one packed weight:
+#: ``("weight", layer index, bitwidth, engine)``.
+WeightCacheKey = PlanKey
 
 #: Content-derived cache key of one batch's packed adjacency + tile masks:
-#: a tuple of per-member ``(num_nodes, num_edges, structure-digest)``
-#: entries (see ``InferenceEngine._batch_key``).
-AdjacencyCacheKey = tuple[tuple[int, int, bytes], ...]
+#: ``("adjacency", *per-member (num_nodes, num_edges, structure-digest))``
+#: (see ``InferenceEngine._members_digest``).
+AdjacencyCacheKey = PlanKey
 
-
-@dataclass
-class CacheStats:
-    """Running hit/miss/eviction counters of one cache."""
-
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    insertions: int = 0
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of lookups served from cache (0.0 when never queried)."""
-        if not self.lookups:
-            return 0.0
-        return self.hits / self.lookups
-
-    def snapshot(self) -> "CacheStats":
-        """An independent copy (reports should not alias live counters)."""
-        return CacheStats(self.hits, self.misses, self.evictions, self.insertions)
-
-
-class LRUCache(Generic[K, V]):
-    """A capacity-bounded least-recently-used map with stats.
-
-    ``capacity`` counts entries.  ``get`` and ``get_or_build`` refresh
-    recency; insertion beyond capacity evicts the least recently used
-    entry.  Optionally tracks the byte footprint of held values via
-    ``size_of`` (e.g. ``PackedLayerWeight.nbytes``).
-    """
-
-    def __init__(
-        self, capacity: int, *, size_of: Callable[[V], int] | None = None
-    ) -> None:
-        if capacity < 1:
-            raise ConfigError(f"cache capacity must be >= 1, got {capacity}")
-        self.capacity = capacity
-        self.stats = CacheStats()
-        self._size_of = size_of
-        self._bytes = 0
-        self._entries: OrderedDict[K, V] = OrderedDict()
-
-    # ------------------------------------------------------------------ #
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __contains__(self, key: K) -> bool:
-        """Presence check — does *not* count as a lookup or refresh LRU."""
-        return key in self._entries
-
-    def keys(self) -> list[K]:
-        """Keys from least to most recently used."""
-        return list(self._entries)
-
-    @property
-    def nbytes(self) -> int:
-        """Byte footprint of held values (0 unless ``size_of`` was given)."""
-        return self._bytes
-
-    # ------------------------------------------------------------------ #
-    def get(self, key: K) -> V | None:
-        """Return the cached value and mark it most recently used."""
-        value = self._entries.get(key)
-        if value is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return value
-
-    def put(self, key: K, value: V) -> None:
-        """Insert (or replace) a value, evicting LRU entries over capacity."""
-        if key in self._entries:
-            old = self._entries.pop(key)
-            self._bytes -= self._size_of(old) if self._size_of else 0
-        self._entries[key] = value
-        self._bytes += self._size_of(value) if self._size_of else 0
-        self.stats.insertions += 1
-        while len(self._entries) > self.capacity:
-            _, evicted = self._entries.popitem(last=False)
-            self._bytes -= self._size_of(evicted) if self._size_of else 0
-            self.stats.evictions += 1
-
-    def get_or_build(self, key: K, builder: Callable[[], V]) -> V:
-        """Cache-through read: build, insert and return on a miss."""
-        value = self.get(key)
-        if value is None:
-            value = builder()
-            self.put(key, value)
-        return value
-
-    def clear(self) -> None:
-        """Drop all entries (stats are preserved — they describe history)."""
-        self._entries.clear()
-        self._bytes = 0
+#: Content-derived cache key of one batch's compiled
+#: :class:`~repro.plan.ir.ExecutionPlan`: ``("plan", *member entries)``.
+ForwardPlanCacheKey = PlanKey

@@ -1,14 +1,15 @@
 """Cost-model-driven engine dispatch for serving requests.
 
-The functional bit-GEMM has three host engines
-(:mod:`repro.core.bitgemm`): ``"packed"`` (word-at-a-time AND+popcount on
-the packed planes), ``"blas"`` (unpack to float32, one BLAS matmul per
-plane pair) and ``"sparse"`` (zero-tile-skipping AND+popcount over only
-the non-zero 8x128 tiles of a 1-bit left operand).  The built-in
-``"auto"`` rule is a fixed output-size threshold; a serving session
-instead asks :class:`CostModelDispatcher`, which prices each product from
-the kernel work measures of :class:`~repro.tc.costmodel.TCCostModel`
-(bmma count per §4's tiling) scaled by calibrated host rates:
+The functional bit-GEMM's host engines are registered objects in the
+:class:`~repro.plan.registry.BackendRegistry` (built-ins: ``"packed"``,
+``"blas"``, ``"sparse"`` — see :mod:`repro.plan.backends`), each carrying
+a cost pricer.  The built-in ``"auto"`` rule is a fixed output-size
+threshold; a serving session instead asks :class:`CostModelDispatcher`,
+which prices each product by handing every eligible registered backend a
+:class:`~repro.plan.registry.PriceContext` — the kernel work measure of
+:class:`~repro.tc.costmodel.TCCostModel` (bmma count per §4's tiling)
+plus the calibrated :class:`~repro.plan.rates.HostRates` — and picking
+the cheapest answer:
 
 * both dense engines pay a per-plane-pair call overhead plus padded
   bit-FLOPs divided by a sustained rate (the packed popcount path is
@@ -23,21 +24,33 @@ the kernel work measures of :class:`~repro.tc.costmodel.TCCostModel`
   tile fraction of the left operand, plus a per-tile-row-group gather
   overhead.  The fraction is an observation, not a guess: the serving
   engine calls :meth:`CostModelDispatcher.observe_tile_fraction` with each
-  batch's measured census before executing it, so the dispatcher learns to
-  route large coalesced block-diagonal batches (nonzero fraction ~
-  ``1/members``) to ``sparse`` and small or dense products elsewhere.
+  batch's measured census before compiling its plan, so the dispatcher
+  learns to route large coalesced block-diagonal batches (nonzero fraction
+  ~ ``1/members``) to ``sparse`` and small or dense products elsewhere.
   Only 1-bit left operands (the adjacency GEMM) are eligible.
 
+Rates are a frozen :class:`~repro.plan.rates.HostRates` value, so
+per-machine recalibration is ``CostModelDispatcher(rates=HostRates(...))``
+rather than a subclass (the legacy class attributes remain as the
+defaults, so existing subclass recalibrations keep working).  Backends
+registered later are priced automatically as long as they carry a pricer.
+
 A dispatcher instance is a valid ``engine=`` argument anywhere
-:data:`~repro.core.bitgemm.Engine` is accepted.
+:data:`~repro.core.bitgemm.Engine` is accepted; under the plan/execute
+split its per-product decisions are frozen into the compiled
+:class:`~repro.plan.ir.ExecutionPlan` and replayed.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Mapping
 
 from ..errors import ConfigError
+from ..plan.ir import GemmSpec
+from ..plan.rates import HostRates
+from ..plan.registry import BackendPrice, BackendRegistry, PriceContext, default_registry
 from ..tc.costmodel import MMA_FLOPS, TCCostModel
 from ..tc.hardware import RTX3090, DeviceSpec
 
@@ -46,7 +59,12 @@ __all__ = ["DispatchDecision", "CostModelDispatcher"]
 
 @dataclass(frozen=True)
 class DispatchDecision:
-    """One priced dispatch: estimated host seconds per engine + the pick."""
+    """One priced dispatch: estimated host seconds per engine + the pick.
+
+    ``prices`` holds every registered backend's
+    :class:`~repro.plan.registry.BackendPrice`; the named fields summarize
+    the built-in engines for compatibility and convenience.
+    """
 
     engine: str
     packed_s: float
@@ -59,10 +77,12 @@ class DispatchDecision:
     sparse_s: float = math.inf
     #: The measured non-zero tile fraction the sparse price used, if any.
     tile_fraction: float | None = None
+    #: Every priced backend's answer, in registry order.
+    prices: Mapping[str, BackendPrice] = field(default_factory=dict)
 
 
 class CostModelDispatcher:
-    """Pick ``"packed"`` or ``"blas"`` per product from modeled host cost.
+    """Pick the cheapest registered backend per product from modeled host cost.
 
     Callable with the :data:`~repro.core.bitgemm.EngineSelector` signature
     ``(m, k, n, bits_a, bits_b)``.  Rates are calibrated against the
@@ -71,6 +91,9 @@ class CostModelDispatcher:
     :class:`~repro.tc.costmodel.TCCostModel` which price the emulated GPU.
     """
 
+    # Legacy calibration hooks: these class attributes are the *defaults*
+    # for the HostRates record built in __init__, kept so pre-HostRates
+    # subclass recalibrations keep working.  New code passes ``rates=``.
     #: Sustained effective bit-FLOP/s of the packed AND+popcount engine.
     PACKED_FLOPS = 3.2e10
     #: Sustained float32 BLAS FLOP/s on plane products.
@@ -91,6 +114,8 @@ class CostModelDispatcher:
         device: DeviceSpec = RTX3090,
         *,
         blas_bytes_budget: int = 512 * 1024 * 1024,
+        rates: HostRates | None = None,
+        registry: BackendRegistry | None = None,
     ) -> None:
         if blas_bytes_budget < 1:
             raise ConfigError(
@@ -98,6 +123,15 @@ class CostModelDispatcher:
             )
         self.cost = TCCostModel(device)
         self.blas_bytes_budget = blas_bytes_budget
+        self.rates = rates or HostRates(
+            packed_flops=self.PACKED_FLOPS,
+            blas_flops=self.BLAS_FLOPS,
+            packed_pair_overhead_s=self.PACKED_PAIR_OVERHEAD_S,
+            blas_pair_overhead_s=self.BLAS_PAIR_OVERHEAD_S,
+            unpack_bytes_per_s=self.UNPACK_BYTES_PER_S,
+            sparse_group_overhead_s=self.SPARSE_GROUP_OVERHEAD_S,
+        )
+        self.registry = registry or default_registry()
         #: Measured non-zero tile fraction of the batch currently being
         #: served; ``None`` until the serving engine observes one.
         self.tile_fraction: float | None = None
@@ -112,8 +146,8 @@ class CostModelDispatcher:
         """Record the measured non-zero tile fraction of the next products.
 
         Called by the serving engine with each batch's tile census (from
-        its cached :class:`~repro.tc.kernel.TileSkipPlan`) before the
-        forward pass, so 1-bit adjacency GEMMs are priced from what the
+        its cached :class:`~repro.tc.kernel.TileSkipPlan`) before compiling
+        the batch's plan, so 1-bit adjacency GEMMs are priced from what the
         sparse engine would actually execute.  The census describes the
         batch's *adjacency* operand only, so it is applied just to square
         1-bit products (``m == k``) — and, when ``nodes`` is given, only to
@@ -136,53 +170,47 @@ class CostModelDispatcher:
     def decide(
         self, m: int, k: int, n: int, bits_a: int, bits_b: int
     ) -> DispatchDecision:
-        """Price every engine for an ``m x k x n`` product and choose."""
+        """Price every eligible backend for an ``m x k x n`` product and choose."""
         counters = self.cost.gemm_counters(m, k, n, bits_a, bits_b)
         flops = counters.mma_ops * MMA_FLOPS  # padded work, all plane pairs
-        pairs = bits_a * bits_b
+        spec = GemmSpec(m=m, k=k, n=n, bits_a=bits_a, bits_b=bits_b)
 
-        packed_s = pairs * self.PACKED_PAIR_OVERHEAD_S + flops / self.PACKED_FLOPS
-        blas_bytes = 4 * (bits_a * m * k + bits_b * k * n)
-        blas_s = (
-            pairs * self.BLAS_PAIR_OVERHEAD_S
-            + flops / self.BLAS_FLOPS
-            + blas_bytes / self.UNPACK_BYTES_PER_S
-        )
-        memory_vetoed = blas_bytes > self.blas_bytes_budget
-
-        # Sparse: only a 1-bit left operand (the adjacency) has a tile
-        # census, and only an observed census makes the price a measurement.
-        # The census is pinned to the adjacency's square shape so a dense
-        # 1-bit product (e.g. a 1-bit activation update GEMM) is not priced
-        # with another operand's sparsity unless its shape coincides with
-        # the adjacency's exactly (see observe_tile_fraction).
+        # The observed census is pinned to the adjacency's square shape so
+        # a dense 1-bit product (e.g. a 1-bit activation update GEMM) is
+        # not priced with another operand's sparsity unless its shape
+        # coincides with the adjacency's exactly (see observe_tile_fraction).
         describes_operand = m == k and (
             self._observed_nodes is None or m == self._observed_nodes
         )
         fraction = self.tile_fraction if bits_a == 1 and describes_operand else None
-        if fraction is not None:
-            groups = min(max(m // 8, 1), math.ceil(1.0 / max(fraction, 1e-9)))
-            sparse_s = (
-                pairs * self.PACKED_PAIR_OVERHEAD_S
-                + flops * fraction / self.PACKED_FLOPS
-                + groups * self.SPARSE_GROUP_OVERHEAD_S
-            )
-        else:
-            sparse_s = math.inf
 
-        blas_effective = math.inf if memory_vetoed else blas_s
-        engine = min(
-            ("packed", packed_s), ("blas", blas_effective), ("sparse", sparse_s),
-            key=lambda pair: pair[1],
-        )[0]
+        ctx = PriceContext(
+            spec=spec,
+            flops=flops,
+            rates=self.rates,
+            tile_fraction=fraction,
+            blas_bytes_budget=self.blas_bytes_budget,
+        )
+        prices = self.registry.price_all(ctx)
+        if not prices:
+            raise ConfigError(
+                f"no priceable backend registered for a "
+                f"{bits_a}x{bits_b}-bit {m}x{k}x{n} product"
+            )
+        engine = min(prices.items(), key=lambda kv: kv[1].effective_s)[0]
+
+        packed = prices.get("packed")
+        blas = prices.get("blas")
+        sparse = prices.get("sparse")
         return DispatchDecision(
             engine=engine,
-            packed_s=packed_s,
-            blas_s=blas_s,
-            blas_bytes=blas_bytes,
-            memory_vetoed=memory_vetoed,
-            sparse_s=sparse_s,
+            packed_s=packed.seconds if packed else math.inf,
+            blas_s=blas.seconds if blas else math.inf,
+            blas_bytes=blas.bytes if blas else 0,
+            memory_vetoed=blas.vetoed if blas else False,
+            sparse_s=sparse.effective_s if sparse else math.inf,
             tile_fraction=fraction,
+            prices=prices,
         )
 
     def __call__(self, m: int, k: int, n: int, bits_a: int, bits_b: int) -> str:

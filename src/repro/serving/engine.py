@@ -1,29 +1,36 @@
-"""Session-based inference engine: pack once, serve many (tentpole of PR 1).
+"""Session-based inference engine: plan once, serve many.
 
 The paper's Figure 10 argument — bit-packed operands should be built once
 and reused — only pays off in a system that *keeps* them.  An
-:class:`InferenceEngine` is that system:
+:class:`InferenceEngine` is that system, structured around the
+plan/execute split of :mod:`repro.plan`:
 
-* **Packed-weight caching** — every layer's weights are quantized and
-  bit-packed at most once per session and held in an LRU
-  (:class:`~repro.serving.cache.LRUCache`) keyed on
-  ``(layer, bitwidth, engine)``, so repeated traffic never re-packs.
-* **Tile-mask caching** — each executed batch's adjacency is densified,
-  1-bit packed and zero-tile censused once
-  (:class:`~repro.gnn.quantized.PackedAdjacency`), then held in a
-  content-keyed LRU with its own hit/miss telemetry; repeat traffic over
-  the same batches neither re-packs nor re-ballots the operand.
+* **Compiled-plan replay** — the first execution of a distinct coalesced
+  batch compiles an :class:`~repro.plan.ir.ExecutionPlan` (per-GEMM
+  shapes, bitwidths, quantize sites, pack/census cache keys, and the
+  backend the cost model picked for each product); replaying the same
+  batch executes the cached plan, so dispatch decisions, packing and the
+  zero-tile ballot all happen once per distinct workload.
+* **One plan cache** — packed layer weights, per-batch packed adjacencies
+  (with their tile-skip plans) and compiled forward plans all live in a
+  single content-keyed :class:`~repro.plan.cache.PlanCache`.  Kinds
+  occupy separate LRU segments (so novel batches cannot evict the hot
+  packed weights) but share one lookup API and one telemetry surface
+  (``stats.weight_cache`` / ``stats.adjacency_cache`` /
+  ``stats.plan_cache``, plus :meth:`InferenceEngine.cache_telemetry`).
 * **Request coalescing** — submitted subgraph requests are greedily packed
   into block-diagonal :class:`~repro.graph.batching.SubgraphBatch` rounds
   (Cluster-GCN / batched-GIN style, bounded by ``batch_size`` members and
   ``max_batch_nodes`` nodes) and executed in one forward pass.
-* **Cost-model dispatch** — each bit-GEMM is routed to the ``packed``,
-  ``blas`` or ``sparse`` host engine by a
+* **Cost-model dispatch** — at plan-compile time each bit-GEMM is routed
+  across the registered backends by a
   :class:`~repro.serving.dispatch.CostModelDispatcher` priced from
-  :mod:`repro.tc.costmodel` work measures.  Before each round the engine
-  reports the batch's *measured* non-zero-tile fraction to the dispatcher,
-  which is what routes large coalesced block-diagonal batches (mostly
-  zero between members) to the zero-tile-skipping ``sparse`` engine.
+  :mod:`repro.tc.costmodel` work measures and
+  :class:`~repro.plan.rates.HostRates`.  Before compiling, the engine
+  reports the batch's *measured* non-zero-tile fraction to the
+  dispatcher, which is what routes large coalesced block-diagonal batches
+  (mostly zero between members) to the zero-tile-skipping ``sparse``
+  backend.
 
 Activation quantization parameters are frozen per site on first use
 (:class:`~repro.gnn.quantized.ActivationCalibration`), which makes results
@@ -31,8 +38,10 @@ independent of how requests were coalesced: a batched execution and the
 equivalent per-request executions return bit-identical logits.
 
 Each executed batch is also priced on the emulated RTX 3090 via
-:func:`~repro.runtime.executor.modeled_batch_report`, so a session reports
-both measured host wall-clock and modeled device time.
+:func:`~repro.runtime.executor.modeled_batch_report` — whose counters are
+derived from the same plan-node specs the executed forward dispatches —
+so a session reports both measured host wall-clock and modeled device
+time from one description of the work.
 """
 
 from __future__ import annotations
@@ -52,9 +61,9 @@ from ..gnn.quantized import (
     ActivationCalibration,
     PackedAdjacency,
     PackedLayerWeight,
+    execute_forward_plan,
     pack_batch_adjacency,
     pack_layer_weight,
-    quantized_forward,
 )
 from ..graph.batching import (
     Subgraph,
@@ -62,13 +71,15 @@ from ..graph.batching import (
     batch_subgraphs_by_nodes,
     round_full,
 )
+from ..plan.cache import CacheStats, LRUCache, PlanCache, PlanKey
+from ..plan.ir import ExecutionPlan, compile_forward_plan
+from ..plan.registry import default_registry
 from ..runtime.executor import QGTCRunConfig, modeled_batch_report
 from ..runtime.profilebatch import profile_batch
 from ..runtime.report import EpochReport
 from ..tc.costmodel import TCCostModel
 from ..tc.hardware import RTX3090, DeviceSpec
 from ..tc.kernel import KernelConfig
-from .cache import AdjacencyCacheKey, CacheStats, LRUCache, WeightCacheKey
 from .dispatch import CostModelDispatcher
 
 __all__ = [
@@ -78,8 +89,6 @@ __all__ = [
     "SessionStats",
     "InferenceEngine",
 ]
-
-_ENGINE_CHOICES = ("cost", "auto", "packed", "blas", "sparse")
 
 
 @dataclass(frozen=True)
@@ -94,15 +103,22 @@ class ServingConfig:
     #: Node budget of one round — caps the densified adjacency at
     #: ``max_batch_nodes**2`` entries.
     max_batch_nodes: int = 4096
-    #: LRU capacity (entries) of the packed-weight cache.
+    #: Capacity (entries) of the plan cache's packed-weight segment.
     weight_cache_capacity: int = 32
-    #: LRU capacity (entries) of the per-batch packed-adjacency/tile-mask
-    #: cache.  Sized for the working set of distinct batches a session
+    #: Capacity (entries) of the plan cache's packed-adjacency/tile-mask
+    #: segment.  Sized for the working set of distinct batches a session
     #: replays; each entry holds the packed planes, tile-skip plan and
     #: degree vector of one coalesced batch.
     adjacency_cache_capacity: int = 16
-    #: ``"cost"`` routes each GEMM through the cost-model dispatcher;
-    #: the literal names force one host engine for the whole session.
+    #: Capacity (entries) of the plan cache's compiled-plan segment.
+    #: Plans are pure metadata (a few dataclasses per layer), so this
+    #: usually matches ``adjacency_cache_capacity`` — one plan per
+    #: distinct batch in the replay working set.
+    plan_cache_capacity: int = 16
+    #: ``"cost"`` routes each GEMM through the cost-model dispatcher at
+    #: plan-compile time; ``"auto"`` applies the built-in size threshold;
+    #: any registered backend name forces that backend for the whole
+    #: session.
     engine: str = "cost"
     kernel: KernelConfig = field(default_factory=KernelConfig)
     device: DeviceSpec = RTX3090
@@ -125,14 +141,19 @@ class ServingConfig:
             raise ConfigError(
                 f"max_batch_nodes must be >= 1, got {self.max_batch_nodes}"
             )
-        if self.adjacency_cache_capacity < 1:
+        for name in (
+            "weight_cache_capacity",
+            "adjacency_cache_capacity",
+            "plan_cache_capacity",
+        ):
+            if getattr(self, name) < 1:
+                raise ConfigError(
+                    f"{name} must be >= 1, got {getattr(self, name)}"
+                )
+        if self.engine not in ("cost", "auto") and self.engine not in default_registry():
             raise ConfigError(
-                "adjacency_cache_capacity must be >= 1, got "
-                f"{self.adjacency_cache_capacity}"
-            )
-        if self.engine not in _ENGINE_CHOICES:
-            raise ConfigError(
-                f"engine must be one of {_ENGINE_CHOICES}, got {self.engine!r}"
+                "engine must be 'cost', 'auto' or a registered backend "
+                f"{default_registry().names()}, got {self.engine!r}"
             )
 
     @property
@@ -175,8 +196,10 @@ class SessionStats:
     tiles_skipped: int = 0
     #: Measured host seconds spent inside batch execution.
     wall_s: float = 0.0
+    #: Per-kind telemetry windows onto the session's unified plan cache.
     weight_cache: CacheStats = field(default_factory=CacheStats)
     adjacency_cache: CacheStats = field(default_factory=CacheStats)
+    plan_cache: CacheStats = field(default_factory=CacheStats)
 
     @property
     def requests_per_s(self) -> float:
@@ -225,11 +248,15 @@ class InferenceEngine:
         self.model = model
         self.config = config or ServingConfig()
         self.calibration = calibration or ActivationCalibration()
-        self._weights: LRUCache[WeightCacheKey, PackedLayerWeight] = LRUCache(
-            self.config.weight_cache_capacity, size_of=lambda w: w.nbytes
-        )
-        self._adjacency: LRUCache[AdjacencyCacheKey, PackedAdjacency] = LRUCache(
-            self.config.adjacency_cache_capacity, size_of=lambda a: a.nbytes
+        #: The session's unified plan cache: packed weights, packed
+        #: adjacencies + tile masks, and compiled forward plans, each kind
+        #: in its own LRU segment under content-derived keys.
+        self._cache = PlanCache(
+            {
+                "weight": self.config.weight_cache_capacity,
+                "adjacency": self.config.adjacency_cache_capacity,
+                "plan": self.config.plan_cache_capacity,
+            }
         )
         self._engine: Engine
         if self.config.engine == "cost":
@@ -240,8 +267,9 @@ class InferenceEngine:
         self._next_request_id = 0
         self._next_batch_id = 0
         self.stats = SessionStats(
-            weight_cache=self._weights.stats,
-            adjacency_cache=self._adjacency.stats,
+            weight_cache=self._cache.segment("weight").stats,
+            adjacency_cache=self._cache.segment("adjacency").stats,
+            plan_cache=self._cache.segment("plan").stats,
         )
         self._cost = TCCostModel(self.config.device)
         self._run_config = QGTCRunConfig(
@@ -254,29 +282,53 @@ class InferenceEngine:
         )
 
     # ------------------------------------------------------------------ #
-    # Packed-weight cache
+    # The unified plan cache and its per-kind views
     # ------------------------------------------------------------------ #
     @property
-    def weight_cache(self) -> LRUCache[WeightCacheKey, PackedLayerWeight]:
-        """The session's packed-weight LRU (inspect stats, keys, bytes)."""
-        return self._weights
+    def plan_artifacts(self) -> PlanCache:
+        """The session's unified content-keyed plan cache."""
+        return self._cache
 
-    def _weight_key(self, layer: int) -> WeightCacheKey:
-        # Packed planes are engine-independent today; the engine dimension
+    @property
+    def weight_cache(self) -> LRUCache:
+        """The plan cache's packed-weight segment (stats, keys, bytes)."""
+        return self._cache.segment("weight")
+
+    @property
+    def adjacency_cache(self) -> LRUCache:
+        """The plan cache's per-batch packed-adjacency/tile-mask segment."""
+        return self._cache.segment("adjacency")
+
+    @property
+    def plan_cache(self) -> LRUCache:
+        """The plan cache's compiled-forward-plan segment."""
+        return self._cache.segment("plan")
+
+    def cache_telemetry(self) -> dict[str, CacheStats]:
+        """Per-kind stats snapshots of the unified plan cache."""
+        return self._cache.telemetry()
+
+    # ------------------------------------------------------------------ #
+    # Packed weights (plan-node artifacts, shared across batches)
+    # ------------------------------------------------------------------ #
+    def _weight_key(self, layer: int, bits: int | None = None) -> PlanKey:
+        # Packed planes are backend-independent today; the engine dimension
         # keeps the key stable for future backends with engine-specific
         # operand layouts (and for caches shared across sessions).
-        return (layer, self.config.effective_weight_bits, self.config.engine)
+        if bits is None:
+            bits = self.config.effective_weight_bits
+        return ("weight", layer, bits, self.config.engine)
 
     def packed_weights(self) -> list[PackedLayerWeight]:
-        """Per-layer packed weights, built through the LRU cache.
+        """Per-layer packed weights, built through the plan cache.
 
         The first call per session packs (misses); later calls hit unless
-        the LRU capacity is smaller than the layer count.
+        the segment capacity is smaller than the layer count.
         """
         bits = self.config.effective_weight_bits
         return [
-            self._weights.get_or_build(
-                self._weight_key(i), lambda w=w: pack_layer_weight(w, bits)
+            self._cache.get_or_build(
+                self._weight_key(i, bits), lambda w=w: pack_layer_weight(w, bits)
             )
             for i, w in enumerate(self.model.weights)
         ]
@@ -287,21 +339,17 @@ class InferenceEngine:
         return self
 
     # ------------------------------------------------------------------ #
-    # Packed-adjacency / tile-mask cache
+    # Per-batch artifacts: packed adjacency + compiled plan
     # ------------------------------------------------------------------ #
-    @property
-    def adjacency_cache(self) -> LRUCache[AdjacencyCacheKey, PackedAdjacency]:
-        """The session's per-batch packed-adjacency/tile-mask LRU."""
-        return self._adjacency
-
     @staticmethod
-    def _batch_key(batch: SubgraphBatch) -> AdjacencyCacheKey:
+    def _members_digest(batch: SubgraphBatch) -> tuple:
         # Content-derived identity: two batches coalescing structurally
         # identical member subgraphs in the same order share packed planes,
-        # tile masks and degrees.  The CSR arrays are digested rather than
-        # stored so a key stays O(members) in size; the full 16-byte digest
-        # is kept (not truncated through ``hash()``) because a colliding
-        # key would silently serve another batch's adjacency.
+        # tile masks, degrees and compiled plans.  The CSR arrays are
+        # digested rather than stored so a key stays O(members) in size;
+        # the full 16-byte digest is kept (not truncated through
+        # ``hash()``) because a colliding key would silently serve another
+        # batch's adjacency.
         def digest(sub: Subgraph) -> bytes:
             h = hashlib.blake2b(digest_size=16)
             h.update(sub.graph.indptr.tobytes())
@@ -313,16 +361,64 @@ class InferenceEngine:
             (sub.num_nodes, sub.num_edges, digest(sub)) for sub in batch.members
         )
 
+    def _adjacency_key(self, batch: SubgraphBatch) -> PlanKey:
+        return ("adjacency",) + self._members_digest(batch)
+
+    def _plan_key(self, batch: SubgraphBatch) -> PlanKey:
+        return ("plan",) + self._members_digest(batch)
+
     def packed_adjacency_for(self, batch: SubgraphBatch) -> PackedAdjacency:
-        """The batch's packed adjacency + tile-skip plan, via the LRU.
+        """The batch's packed adjacency + tile-skip plan, via the plan cache.
 
         First execution of a batch densifies, packs and ballots (miss);
         replaying the same round is pure cache traffic, so the zero-tile
         census the ``sparse`` engine consumes is taken once per distinct
         batch rather than once per request.
         """
-        return self._adjacency.get_or_build(
-            self._batch_key(batch), lambda: pack_batch_adjacency(batch)
+        return self._cache.get_or_build(
+            self._adjacency_key(batch), lambda: pack_batch_adjacency(batch)
+        )
+
+    def plan_for(
+        self, batch: SubgraphBatch, *, adjacency: PackedAdjacency | None = None
+    ) -> ExecutionPlan:
+        """The batch's compiled execution plan, via the plan cache.
+
+        Compilation observes the batch's measured tile census (pricing the
+        sparse backend from measurement, not assumption), resolves every
+        GEMM's backend through the dispatcher/registry, and records the
+        content keys its operand artifacts hang off.  A batch whose member
+        structure differs in any way — including shape — gets a different
+        content key, so a mutated input compiles a fresh plan rather than
+        silently replaying a stale one; the executor additionally refuses
+        plans whose signature does not match the batch.
+
+        ``adjacency`` passes the batch's already-resolved packed adjacency
+        (as :meth:`_execute` does) to avoid a second cache lookup.
+        """
+        if adjacency is None:
+            adjacency = self.packed_adjacency_for(batch)
+        return self._cache.get_or_build(
+            self._plan_key(batch), lambda: self._compile_plan(batch, adjacency)
+        )
+
+    def _compile_plan(
+        self, batch: SubgraphBatch, adjacency: PackedAdjacency
+    ) -> ExecutionPlan:
+        if isinstance(self._engine, CostModelDispatcher):
+            # Hand the dispatcher this batch's measured census so the plan's
+            # frozen dispatch decisions are priced from observation.
+            self._engine.observe_tile_fraction(
+                adjacency.nonzero_fraction, nodes=batch.num_nodes
+            )
+        return compile_forward_plan(
+            self.model,
+            num_nodes=batch.num_nodes,
+            feature_bits=self.config.feature_bits,
+            weight_bits=self.config.effective_weight_bits,
+            engine=self._engine,
+            weight_key=self._weight_key,
+            adjacency_key=self._adjacency_key(batch),
         )
 
     # ------------------------------------------------------------------ #
@@ -420,27 +516,25 @@ class InferenceEngine:
             start = stop
 
     def _execute(self, requests: Sequence[InferenceRequest]) -> list[InferenceResult]:
-        """Run one coalesced round and split results back per request."""
+        """Run one coalesced round — compile or replay its plan — and split
+        results back per request."""
         batch = SubgraphBatch(members=tuple(r.subgraph for r in requests))
+        # One-time session costs (weight quantize + pack) stay outside the
+        # measured window: ``wall_s`` is seconds spent inside batch execution.
         weights = self.packed_weights()
         start = time.perf_counter()
         adjacency = self.packed_adjacency_for(batch)
-        if isinstance(self._engine, CostModelDispatcher):
-            # Hand the dispatcher this round's measured census so it can
-            # price the sparse engine from observation, not assumption.
-            self._engine.observe_tile_fraction(
-                adjacency.nonzero_fraction, nodes=batch.num_nodes
-            )
-        forward = quantized_forward(
+        plan = self.plan_for(batch, adjacency=adjacency)
+        forward = execute_forward_plan(
+            plan,
             self.model,
             batch,
-            feature_bits=self.config.feature_bits,
-            kernel_config=self.config.kernel,
-            apply_softmax=self.config.apply_softmax,
             packed_weights=weights,
             packed_adjacency=adjacency,
+            artifacts=self._cache,
             calibration=self.calibration,
-            engine=self._engine,
+            kernel_config=self.config.kernel,
+            apply_softmax=self.config.apply_softmax,
         )
         self.stats.wall_s += time.perf_counter() - start
 

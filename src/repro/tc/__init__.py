@@ -5,17 +5,19 @@ from .costmodel import MMA_FLOPS, TCCostModel, TimeBreakdown, tflops, useful_flo
 from .counters import KernelCounters
 from .fragments import FRAG_A_SHAPE, FRAG_B_SHAPE, FRAG_C_SHAPE, Fragment, make_fragment
 from .hardware import A100, LAPTOP_GPU, RTX3090, DeviceSpec, get_device
+from ..core.bitpack import tile_nonzero_mask
 from .kernel import (
     BitGemmKernel,
     KernelConfig,
     KernelResult,
     ReuseMode,
     TileSkipPlan,
+    TileSummary,
     derive_tile_counters,
     plan_tile_skip,
+    zero_tile_summary,
 )
 from .wmma import bmma_sync, load_matrix_sync, store_matrix_sync
-from .zerotile import TileSummary, tile_nonzero_mask, zero_tile_summary
 
 __all__ = [
     "A100",

@@ -29,12 +29,11 @@ from typing import Literal
 import numpy as np
 
 from ..core.bitgemm import Engine, bitgemm
-from ..core.bitpack import PackedBits
+from ..core.bitpack import PackedBits, tile_nonzero_mask
 from ..errors import PackingError, ShapeError
 from .counters import KernelCounters
 from .fragments import make_fragment
 from .wmma import TILE_ACCUM_BYTES, TILE_OPERAND_BYTES, bmma_sync, load_matrix_sync, store_matrix_sync
-from .zerotile import tile_nonzero_mask
 
 __all__ = [
     "ReuseMode",
@@ -42,11 +41,51 @@ __all__ = [
     "BitGemmKernel",
     "KernelResult",
     "TileSkipPlan",
+    "TileSummary",
     "derive_tile_counters",
     "plan_tile_skip",
+    "zero_tile_summary",
 ]
 
 ReuseMode = Literal["cross-bit", "cross-tile"]
+
+
+@dataclass(frozen=True)
+class TileSummary:
+    """Tile census of an adjacency plane — the quantity Figure 8 plots."""
+
+    total_tiles: int
+    nonzero_tiles: int
+
+    @property
+    def zero_tiles(self) -> int:
+        return self.total_tiles - self.nonzero_tiles
+
+    @property
+    def processed_ratio(self) -> float:
+        """Fraction of tiles a jumping kernel still processes (Figure 8 bar)."""
+        if self.total_tiles == 0:
+            return 0.0
+        return self.nonzero_tiles / self.total_tiles
+
+
+def zero_tile_summary(
+    plane_words: np.ndarray, *, counters: KernelCounters | None = None
+) -> TileSummary:
+    """Census the tiles of a packed plane, optionally charging counters.
+
+    The zero-tile check itself reads every word once; its traffic is charged
+    to ``counters.global_bytes_read`` because the jump test is not free —
+    the paper's §6.3 win is that a 128-byte read replaces a full
+    load-fragment + bmma pipeline.
+    """
+    mask = tile_nonzero_mask(plane_words)
+    summary = TileSummary(total_tiles=mask.size, nonzero_tiles=int(mask.sum()))
+    if counters is not None:
+        counters.tiles_total += summary.total_tiles
+        counters.tiles_skipped += summary.zero_tiles
+        counters.global_bytes_read += plane_words.nbytes
+    return summary
 
 
 @dataclass(frozen=True)
@@ -265,6 +304,7 @@ class BitGemmKernel:
         *,
         engine: Engine = "auto",
         plan: TileSkipPlan | None = None,
+        registry=None,
     ) -> KernelResult:
         """Execute the kernel: vectorized math + closed-form counters.
 
@@ -273,7 +313,9 @@ class BitGemmKernel:
         ``plan`` optionally supplies a precomputed census of ``a`` (e.g.
         from a serving session's tile-mask cache); it feeds both the
         counters and the ``sparse`` host engine, so a cached plan is balloted
-        exactly once per operand instead of once per launch.
+        exactly once per operand instead of once per launch.  ``registry``
+        resolves ``engine`` against a non-default
+        :class:`~repro.plan.registry.BackendRegistry`.
         """
         _check_operands(a, b)
         if plan is not None and not plan.matches(a):
@@ -286,7 +328,11 @@ class BitGemmKernel:
             plan = plan_tile_skip(a)
         counters = self._derive_counters(a, b, plan)
         output = bitgemm(
-            a, b, engine=engine, tile_masks=plan.masks if plan is not None else None
+            a,
+            b,
+            engine=engine,
+            tile_masks=plan.masks if plan is not None else None,
+            registry=registry,
         )
         return KernelResult(output=output, counters=counters)
 

@@ -1,64 +1,20 @@
 """Zero-tile detection for the adjacency operand (paper §4.3).
 
-METIS makes subgraphs dense, but many ``8 x 128``-bit TC tiles of the
-(batched) adjacency matrix are still all-zero — mostly the blocks *between*
-subgraphs in a batch, plus missing intra-subgraph edges.  QGTC detects them
-with 8 threads each loading a ``uint4`` (4 consecutive int32 = one row of
-the tile), OR-reducing their words, and a warp ballot combining the 8 lane
-predicates; a zero ballot means the whole tile can be jumped.
-
-The emulation computes the same predicate for *every* tile at once with a
-vectorized OR-reduction over the packed words — bit-identical to the
-per-tile ballot, just batched.
+.. deprecated::
+    This module is a compatibility shim.  The ballot emulation
+    (:func:`tile_nonzero_mask`) lives in :mod:`repro.core.bitpack`, where
+    both the ``sparse`` host backend and the TC emulator's jump logic
+    share one definition; the census summary
+    (:class:`TileSummary`/:func:`zero_tile_summary`) lives in
+    :mod:`repro.tc.kernel` next to the :class:`~repro.tc.kernel.TileSkipPlan`
+    machinery that consumes it.  The names remain importable from here —
+    §4.3 is where the paper defines them — but new code should import from
+    the canonical homes.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-# The ballot emulation itself lives in ``core`` (the ``sparse`` host engine
-# shares it); re-exported here because §4.3 is where the paper defines it.
 from ..core.bitpack import tile_nonzero_mask
-from .counters import KernelCounters
+from .kernel import TileSummary, zero_tile_summary
 
-__all__ = ["tile_nonzero_mask", "zero_tile_summary", "TileSummary"]
-
-from dataclasses import dataclass
-
-
-@dataclass(frozen=True)
-class TileSummary:
-    """Tile census of an adjacency plane — the quantity Figure 8 plots."""
-
-    total_tiles: int
-    nonzero_tiles: int
-
-    @property
-    def zero_tiles(self) -> int:
-        return self.total_tiles - self.nonzero_tiles
-
-    @property
-    def processed_ratio(self) -> float:
-        """Fraction of tiles a jumping kernel still processes (Figure 8 bar)."""
-        if self.total_tiles == 0:
-            return 0.0
-        return self.nonzero_tiles / self.total_tiles
-
-
-def zero_tile_summary(
-    plane_words: np.ndarray, *, counters: KernelCounters | None = None
-) -> TileSummary:
-    """Census the tiles of a packed plane, optionally charging counters.
-
-    The zero-tile check itself reads every word once; its traffic is charged
-    to ``counters.global_bytes_read`` because the jump test is not free —
-    the paper's §6.3 win is that a 128-byte read replaces a full
-    load-fragment + bmma pipeline.
-    """
-    mask = tile_nonzero_mask(plane_words)
-    summary = TileSummary(total_tiles=mask.size, nonzero_tiles=int(mask.sum()))
-    if counters is not None:
-        counters.tiles_total += summary.total_tiles
-        counters.tiles_skipped += summary.zero_tiles
-        counters.global_bytes_read += plane_words.nbytes
-    return summary
+__all__ = ["TileSummary", "tile_nonzero_mask", "zero_tile_summary"]

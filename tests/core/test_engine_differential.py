@@ -8,6 +8,11 @@ three host engines {packed, blas, sparse}, every product asserted equal to
 structure-directed cases (block-diagonal, all-zero, stale/foreign masks)
 because its correctness argument — skipped tiles contribute nothing — is
 exactly what these tests pin down.
+
+The plan/execute split gets the same treatment: compiled single-GEMM plans
+replayed on fresh same-shape inputs must match eager execution bit for bit
+for every registered backend, and mutated-shape inputs must invalidate the
+plan (hard error), never silently reuse it.
 """
 
 from __future__ import annotations
@@ -25,6 +30,12 @@ from repro.core.bitgemm import (
 )
 from repro.core.bitpack import pack_matrix, tile_nonzero_mask
 from repro.errors import ShapeError
+from repro.plan import (
+    compile_gemm_plan,
+    default_registry,
+    execute_gemm_plan,
+    execute_gemm_plan_codes,
+)
 
 #: Shape corners of the sweep: (M, K, N).
 SHAPES = [
@@ -173,3 +184,76 @@ class TestSparseEngineStructure:
         b = _codes(rng, (200, 12), 4)
         out = bitgemm_codes(a, b, 1, 4, engine=lambda *args: "sparse")
         np.testing.assert_array_equal(out, matmul_int_reference(a, b))
+
+
+class TestPlanCompileReplay:
+    """Plan/execute split: a compiled plan replayed on fresh inputs of the
+    same shape is bit-identical to eager execution for every registered
+    backend, and a mutated-shape input invalidates the plan (hard error)
+    rather than silently reusing it."""
+
+    M, K, N, BITS_A, BITS_B = 21, 150, 14, 3, 2
+
+    def _operands(self, seed: int):
+        rng = np.random.default_rng(seed)
+        a = _codes(rng, (self.M, self.K), self.BITS_A)
+        b = _codes(rng, (self.K, self.N), self.BITS_B)
+        return a, b
+
+    def test_replay_matches_eager_for_all_registered_backends(self):
+        for backend in default_registry():
+            step = compile_gemm_plan(
+                self.M, self.K, self.N, self.BITS_A, self.BITS_B,
+                engine=backend.name,
+            )
+            assert step.backend == backend.name
+            # Replay the one compiled plan on several fresh same-shape inputs.
+            for seed in range(3):
+                a, b = self._operands(seed)
+                replayed = execute_gemm_plan_codes(step, a, b)
+                eager = bitgemm_codes(
+                    a, b, self.BITS_A, self.BITS_B, engine=backend.name
+                )
+                np.testing.assert_array_equal(
+                    replayed, eager, err_msg=f"{backend.name} seed={seed}"
+                )
+                np.testing.assert_array_equal(replayed, matmul_int_reference(a, b))
+
+    def test_replay_on_packed_operands(self, rng):
+        step = compile_gemm_plan(
+            self.M, self.K, self.N, self.BITS_A, self.BITS_B, engine="sparse"
+        )
+        a, b = self._operands(7)
+        pa = pack_matrix(a, self.BITS_A, layout="col")
+        pb = pack_matrix(b, self.BITS_B, layout="row")
+        np.testing.assert_array_equal(
+            execute_gemm_plan(step, pa, pb), matmul_int_reference(a, b)
+        )
+
+    def test_mutated_shape_invalidates_plan(self):
+        step = compile_gemm_plan(
+            self.M, self.K, self.N, self.BITS_A, self.BITS_B, engine="packed"
+        )
+        a, b = self._operands(0)
+        # Mutated M: one extra row must refuse to replay, not mis-execute.
+        with pytest.raises(ShapeError, match="fresh plan"):
+            execute_gemm_plan_codes(step, np.vstack([a, a[:1]]), b)
+        # Mutated N likewise.
+        with pytest.raises(ShapeError, match="fresh plan"):
+            execute_gemm_plan_codes(step, a, b[:, :-1])
+
+    def test_mutated_bitwidth_invalidates_plan(self):
+        step = compile_gemm_plan(
+            self.M, self.K, self.N, self.BITS_A, self.BITS_B, engine="packed"
+        )
+        a, b = self._operands(1)
+        pa = pack_matrix(a, self.BITS_A + 1, layout="col")
+        pb = pack_matrix(b, self.BITS_B, layout="row")
+        with pytest.raises(ShapeError, match="fresh plan"):
+            execute_gemm_plan(step, pa, pb)
+
+    def test_auto_plan_freezes_threshold_choice(self):
+        small = compile_gemm_plan(8, 128, 8, 1, 1, engine="auto")
+        large = compile_gemm_plan(512, 128, 512, 1, 1, engine="auto")
+        assert small.backend == "packed"
+        assert large.backend == "blas"

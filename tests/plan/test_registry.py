@@ -1,0 +1,165 @@
+"""Tests for the backend registry: registration, capability metadata,
+pricing, engine-name resolution, and end-to-end custom backends."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bitgemm import bitgemm, bitgemm_codes, matmul_int_reference
+from repro.core.bitpack import pack_matrix
+from repro.errors import ConfigError, ShapeError
+from repro.plan import (
+    Backend,
+    BackendCaps,
+    BackendPrice,
+    BackendRegistry,
+    GemmSpec,
+    HostRates,
+    PriceContext,
+    builtin_backends,
+    default_registry,
+    register_backend,
+    resolve_engine_name,
+)
+
+
+def _reference_backend(name: str = "reference") -> Backend:
+    """A custom backend: unpack the planes and multiply in int64."""
+
+    def run_planes(a_packed, b_packed, tile_masks=None):
+        a_planes = a_packed.to_planes().astype(np.int64)
+        b_planes = b_packed.to_planes().astype(np.int64)
+        out = np.empty(
+            (a_packed.bits, b_packed.bits, a_packed.logical_vectors,
+             b_packed.logical_vectors),
+            dtype=np.int64,
+        )
+        for i in range(a_packed.bits):
+            for j in range(b_packed.bits):
+                out[i, j] = a_planes[i] @ b_planes[j]
+        return out
+
+    return Backend(name=name, run_planes=run_planes,
+                   caps=BackendCaps(summary="int64 oracle"))
+
+
+class TestRegistry:
+    def test_default_registry_holds_builtins_in_order(self):
+        assert default_registry().names() == ("packed", "blas", "sparse")
+
+    def test_get_unknown_raises_with_known_names(self):
+        registry = BackendRegistry(builtin_backends())
+        with pytest.raises(ConfigError, match="packed"):
+            registry.get("cuda")
+
+    def test_duplicate_registration_rejected_unless_replace(self):
+        registry = BackendRegistry(builtin_backends())
+        clone = _reference_backend("packed")
+        with pytest.raises(ConfigError):
+            registry.register(clone)
+        registry.register(clone, replace=True)
+        assert registry.get("packed") is clone
+
+    def test_unregister(self):
+        registry = BackendRegistry([_reference_backend()])
+        registry.unregister("reference")
+        assert "reference" not in registry
+        with pytest.raises(ConfigError):
+            registry.unregister("reference")
+
+    def test_iteration_and_len(self):
+        registry = BackendRegistry(builtin_backends())
+        assert len(registry) == 3
+        assert [b.name for b in registry] == ["packed", "blas", "sparse"]
+
+    def test_backend_name_must_be_string(self):
+        with pytest.raises(ConfigError):
+            Backend(name="", run_planes=lambda a, b, m=None: None)
+
+
+class TestCaps:
+    def test_supports_filters_bitwidths(self):
+        caps = BackendCaps(max_bits_a=1)
+        assert caps.supports(GemmSpec(8, 8, 8, 1, 8))
+        assert not caps.supports(GemmSpec(8, 8, 8, 2, 8))
+
+    def test_eligible_respects_caps(self):
+        registry = BackendRegistry(
+            [
+                _reference_backend("wide"),
+                Backend(
+                    name="narrow",
+                    run_planes=lambda a, b, m=None: None,
+                    caps=BackendCaps(max_bits_a=1),
+                ),
+            ]
+        )
+        spec = GemmSpec(8, 8, 8, 4, 4)
+        assert [b.name for b in registry.eligible(spec)] == ["wide"]
+
+
+class TestPricing:
+    def _ctx(self, spec, **kwargs):
+        return PriceContext(
+            spec=spec, flops=1e9, rates=HostRates(), **kwargs
+        )
+
+    def test_backend_without_pricer_prices_infinite(self):
+        backend = _reference_backend()
+        price = backend.price(self._ctx(GemmSpec(8, 8, 8, 1, 1)))
+        assert price.seconds == math.inf
+
+    def test_price_all_skips_unpriceable(self):
+        registry = BackendRegistry(builtin_backends())
+        registry.register(_reference_backend())
+        prices = registry.price_all(self._ctx(GemmSpec(64, 64, 64, 2, 2)))
+        assert set(prices) == {"packed", "blas", "sparse"}
+
+    def test_vetoed_price_is_effectively_infinite(self):
+        price = BackendPrice(seconds=1.0, bytes=10, vetoed=True)
+        assert price.effective_s == math.inf
+        assert BackendPrice(seconds=1.0).effective_s == 1.0
+
+
+class TestResolveEngineName:
+    def test_literal_names_validated_against_registry(self):
+        spec = GemmSpec(8, 8, 8, 1, 1)
+        assert resolve_engine_name("sparse", spec) == "sparse"
+        with pytest.raises(ShapeError):
+            resolve_engine_name("cuda", spec)
+
+    def test_auto_threshold(self):
+        assert resolve_engine_name("auto", GemmSpec(8, 128, 8, 1, 1)) == "packed"
+        assert resolve_engine_name("auto", GemmSpec(512, 128, 512, 1, 1)) == "blas"
+
+    def test_selector_return_validated(self):
+        spec = GemmSpec(8, 8, 8, 1, 1)
+        assert resolve_engine_name(lambda *a: "packed", spec) == "packed"
+        with pytest.raises(ShapeError):
+            resolve_engine_name(lambda *a: "gpu", spec)
+
+
+class TestCustomBackendEndToEnd:
+    def test_private_registry_through_bitgemm(self, small_codes):
+        a, b = small_codes
+        registry = BackendRegistry(builtin_backends())
+        registry.register(_reference_backend())
+        packed_a = pack_matrix(a, 3, layout="col")
+        packed_b = pack_matrix(b, 2, layout="row")
+        out = bitgemm(packed_a, packed_b, engine="reference", registry=registry)
+        np.testing.assert_array_equal(out, matmul_int_reference(a, b))
+
+    def test_registered_default_backend_reachable_by_name(self, small_codes):
+        a, b = small_codes
+        backend = register_backend(_reference_backend("oracle-e2e"))
+        try:
+            out = bitgemm_codes(a, b, 3, 2, engine="oracle-e2e")
+            np.testing.assert_array_equal(out, matmul_int_reference(a, b))
+            # Selector callables may return the custom name too.
+            out = bitgemm_codes(a, b, 3, 2, engine=lambda *args: "oracle-e2e")
+            np.testing.assert_array_equal(out, matmul_int_reference(a, b))
+        finally:
+            default_registry().unregister(backend.name)

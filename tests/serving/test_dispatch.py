@@ -8,6 +8,7 @@ import pytest
 from repro.core.bitgemm import bitgemm, matmul_int_reference
 from repro.core.bitpack import pack_matrix
 from repro.errors import ConfigError, ShapeError
+from repro.plan import HostRates
 from repro.serving.dispatch import CostModelDispatcher
 
 
@@ -119,6 +120,46 @@ class TestSparsePricing:
             dispatch.observe_tile_fraction(-0.1)
         with pytest.raises(ConfigError):
             dispatch.observe_tile_fraction(1.5)
+
+
+class TestHostRates:
+    """Per-machine recalibration is a frozen value, not a subclass."""
+
+    def test_default_rates_built_from_class_attributes(self):
+        dispatch = CostModelDispatcher()
+        assert dispatch.rates.packed_flops == CostModelDispatcher.PACKED_FLOPS
+        assert (
+            dispatch.rates.sparse_group_overhead_s
+            == CostModelDispatcher.SPARSE_GROUP_OVERHEAD_S
+        )
+
+    def test_rates_value_changes_routing(self):
+        # A shape the default calibration routes to blas...
+        shape = (512, 64, 64, 8, 8)
+        assert CostModelDispatcher().decide(*shape).engine == "blas"
+        # ...flips to packed when this "machine" has a very fast popcount.
+        fast_packed = HostRates(packed_flops=1e15, packed_pair_overhead_s=0.0)
+        assert CostModelDispatcher(rates=fast_packed).decide(*shape).engine == "packed"
+
+    def test_legacy_subclass_recalibration_still_works(self):
+        class Recalibrated(CostModelDispatcher):
+            PACKED_FLOPS = 1e15
+            PACKED_PAIR_OVERHEAD_S = 0.0
+
+        assert Recalibrated().decide(512, 64, 64, 8, 8).engine == "packed"
+
+    def test_rejects_invalid_rates(self):
+        with pytest.raises(ConfigError):
+            HostRates(packed_flops=0.0)
+        with pytest.raises(ConfigError):
+            HostRates(sparse_group_overhead_s=-1.0)
+
+    def test_prices_expose_every_backend(self):
+        decision = CostModelDispatcher().decide(256, 128, 64, 2, 4)
+        assert set(decision.prices) == {"packed", "blas", "sparse"}
+        assert decision.prices["packed"].seconds == decision.packed_s
+        assert decision.prices["blas"].bytes == decision.blas_bytes
+        assert decision.prices["blas"].vetoed == decision.memory_vetoed
 
 
 class TestDispatcherAsEngineArgument:

@@ -13,9 +13,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ShapeError
 from repro.gnn import make_batched_gin, make_cluster_gcn, reference_forward
 from repro.graph import batch_subgraphs, induced_subgraphs
+from repro.graph.batching import SubgraphBatch
 from repro.graph.generators import planted_partition_graph
 from repro.partition import metis_like_partition
 from repro.serving import InferenceEngine, ServingConfig
@@ -238,6 +239,80 @@ class TestAdjacencyCache:
     def test_rejects_bad_capacity(self):
         with pytest.raises(ConfigError):
             ServingConfig(adjacency_cache_capacity=0)
+
+
+class TestPlanCache:
+    """The compiled-plan segment of the unified plan cache."""
+
+    def test_replay_hits_plan_cache(self, gin_model, subgraphs):
+        engine = InferenceEngine(
+            gin_model, ServingConfig(feature_bits=8, batch_size=4)
+        )
+        engine.infer(subgraphs)  # 8 subgraphs -> 2 distinct batches
+        first = engine.stats.plan_cache.snapshot()
+        assert first.misses == engine.stats.batches
+        assert first.hits == 0
+        engine.infer(subgraphs)  # identical rounds replay compiled plans
+        stats = engine.stats.plan_cache
+        assert stats.misses == first.misses
+        assert stats.hits == first.misses
+        assert stats.evictions == 0
+
+    def test_plan_records_frozen_dispatch(self, gin_model, subgraphs):
+        engine = InferenceEngine(
+            gin_model, ServingConfig(feature_bits=8, batch_size=4)
+        )
+        engine.infer(subgraphs[:4])
+        batch = SubgraphBatch(members=tuple(subgraphs[:4]))
+        plan = engine.plan_for(batch)  # cache hit: the executed plan
+        assert engine.stats.plan_cache.hits >= 1
+        assert plan.signature.num_nodes == batch.num_nodes
+        registered = set(engine.plan_artifacts.kinds())
+        assert registered == {"weight", "adjacency", "plan"}
+        for step in plan.gemm_steps():
+            assert step.backend in ("packed", "blas", "sparse")
+        # The plan's weight nodes carry the session's cache keys.
+        assert plan.layers[0].update.pack_b.cache_key == engine._weight_key(0)
+
+    def test_mutated_shape_compiles_fresh_plan(self, gin_model, subgraphs):
+        # A structurally different request set must get its own plan (a
+        # fresh content key), never silently replay the old one.
+        engine = InferenceEngine(
+            gin_model, ServingConfig(feature_bits=8, batch_size=4)
+        )
+        engine.infer(subgraphs[:4])
+        assert engine.stats.plan_cache.misses == 1
+        engine.infer(subgraphs[4:])  # different members, different shape
+        assert engine.stats.plan_cache.misses == 2
+        assert engine.stats.plan_cache.hits == 0
+
+    def test_stale_plan_refuses_mismatched_batch(self, gin_model, subgraphs):
+        from repro.gnn import execute_forward_plan
+
+        engine = InferenceEngine(
+            gin_model, ServingConfig(feature_bits=8, batch_size=4)
+        )
+        batch = SubgraphBatch(members=tuple(subgraphs[:4]))
+        other = SubgraphBatch(members=tuple(subgraphs[4:]))
+        plan = engine.plan_for(batch)
+        if other.num_nodes != batch.num_nodes:
+            with pytest.raises(ShapeError, match="fresh plan"):
+                execute_forward_plan(plan, gin_model, other)
+
+    def test_unified_cache_shared_telemetry(self, gin_model, subgraphs):
+        engine = InferenceEngine(
+            gin_model, ServingConfig(feature_bits=8, batch_size=4)
+        )
+        engine.infer(subgraphs)
+        telemetry = engine.cache_telemetry()
+        assert set(telemetry) == {"weight", "adjacency", "plan"}
+        total = engine.plan_artifacts.total_stats()
+        assert total.lookups == sum(t.lookups for t in telemetry.values())
+        assert engine.plan_artifacts.nbytes >= engine.adjacency_cache.nbytes
+
+    def test_rejects_bad_plan_capacity(self):
+        with pytest.raises(ConfigError):
+            ServingConfig(plan_cache_capacity=0)
 
 
 class TestCoalescing:
