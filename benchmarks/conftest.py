@@ -31,15 +31,21 @@ def emit(benchmark, text: str) -> None:
     benchmark.extra_info["table"] = text
 
 
+#: Default output directory of the machine-readable benchmark records —
+#: ``benchmarks/out/`` (gitignored), anchored next to this file so the
+#: records land in one place regardless of the pytest invocation cwd.
+DEFAULT_BENCH_JSON_DIR = pathlib.Path(__file__).resolve().parent / "out"
+
+
 def emit_json(name: str, payload: dict) -> pathlib.Path:
     """Write a machine-readable benchmark record to ``BENCH_<name>.json``.
 
     CI uploads these as artifacts so the perf trajectory (median wall-clock
     and speedup ratios) is tracked across PRs.  ``BENCH_JSON_DIR`` overrides
-    the output directory (default: the current working directory, i.e. the
-    repo root when run as ``pytest benchmarks/...``).
+    the output directory (default: ``benchmarks/out/``, which is
+    gitignored so records never end up committed at the repo root).
     """
-    out_dir = pathlib.Path(os.environ.get("BENCH_JSON_DIR", "."))
+    out_dir = pathlib.Path(os.environ.get("BENCH_JSON_DIR", DEFAULT_BENCH_JSON_DIR))
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -25,6 +25,12 @@ Each 1-bit GEMM is an AND + popcount over the packed K dimension
   dot product; much faster when the operand is tile-sparse — e.g. the
   block-diagonal adjacency of a coalesced serving batch, where roughly
   ``1/members`` of the tiles survive.
+* ``"einsum"`` — bit-serial: unpack both operands to 0/1 planes and form
+  every pairwise plane product in a single int64 ``np.einsum``
+  contraction.  Exact for the low bitwidths it is registered for, and
+  free of the per-plane-pair dispatch loop, which is where it can win on
+  small products; mostly it widens the autotuner's search space
+  (:mod:`repro.plan.autotune`).
 
 All engines are tested against each other and against an int64 reference.
 
@@ -81,7 +87,7 @@ Engine = Union[str, EngineSelector]
 
 #: Names of the built-in backends (the default registry may hold more;
 #: see :func:`repro.plan.register_backend`).
-ENGINE_NAMES = ("packed", "blas", "sparse")
+ENGINE_NAMES = ("packed", "blas", "sparse", "einsum")
 
 #: Row-block size of the packed engine; caps the broadcast temporary at
 #: roughly ``block * N * k_words * 4`` bytes.

@@ -61,6 +61,7 @@ artifacts.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -71,7 +72,7 @@ from ..core.bitpack import PackedBits, pack_matrix
 from ..core.quantization import QuantParams, calibrate, quantize
 from ..errors import BitwidthError, ConfigError, ShapeError
 from ..graph.batching import SubgraphBatch
-from ..plan.ir import ExecutionPlan, GemmStep, QuantizeStep, compile_forward_plan
+from ..plan.ir import ExecutionPlan, GemmSpec, GemmStep, QuantizeStep, compile_forward_plan
 from ..tc.counters import KernelCounters
 from ..tc.kernel import BitGemmKernel, KernelConfig, TileSkipPlan, plan_tile_skip
 from .activations import relu, softmax
@@ -85,6 +86,7 @@ __all__ = [
     "PackedAdjacency",
     "PackedLayerWeight",
     "QuantizedForwardResult",
+    "StepTiming",
     "execute_forward_plan",
     "pack_batch_adjacency",
     "pack_layer_weight",
@@ -94,11 +96,30 @@ __all__ = [
 
 
 @dataclass(frozen=True)
+class StepTiming:
+    """Measured wall-clock of one executed plan step's bit-GEMM.
+
+    The timing window covers exactly the backend-dependent work (the
+    kernel dispatch on already-packed operands), which makes each executed
+    step a valid autotuning sample: the serving engine feeds these into
+    the dispatcher's :class:`~repro.plan.autotune.DispatchTable`, so every
+    warm replay sharpens future dispatch decisions for free.
+    """
+
+    spec: GemmSpec
+    backend: str
+    seconds: float
+
+
+@dataclass(frozen=True)
 class QuantizedForwardResult:
     """Logits plus the kernel events the batch generated."""
 
     logits: np.ndarray
     counters: list[KernelCounters]
+    #: One measured per-GEMM timing per executed plan step, in execution
+    #: order (parallel to ``counters``).
+    timings: tuple[StepTiming, ...] = ()
 
     @property
     def total_counters(self) -> KernelCounters:
@@ -271,6 +292,8 @@ def _affine_product(
     counters: list[KernelCounters],
     engine: Engine,
     registry=None,
+    timings: list[StepTiming] | None = None,
+    spec: GemmSpec | None = None,
 ) -> np.ndarray:
     """Full affine-corrected product of a quantized matrix and a packed weight."""
     k = q_left.shape[1]
@@ -279,7 +302,22 @@ def _affine_product(
             f"inner dims differ: {q_left.shape} x {weight.packed.logical_shape}"
         )
     packed_l = pack_matrix(q_left, p_left.bits, layout="col")
-    res = kernel.run(packed_l, weight.packed, engine=engine, registry=registry)
+    # Ballot a 1-bit left operand *outside* the timing window (mirroring
+    # kernel.run's internal census) so the StepTiming sample covers the
+    # same census-amortized work the offline autotuner measures — mixing
+    # census-inclusive and census-exclusive samples in one table cell
+    # would bias its median against whichever backend actually executed.
+    plan = (
+        plan_tile_skip(packed_l)
+        if packed_l.bits == 1 and kernel.config.zero_tile_jumping
+        else None
+    )
+    start = time.perf_counter()
+    res = kernel.run(
+        packed_l, weight.packed, engine=engine, plan=plan, registry=registry
+    )
+    if timings is not None and spec is not None and isinstance(engine, str):
+        timings.append(StepTiming(spec, engine, time.perf_counter() - start))
     counters.append(res.counters)
     s_l, c_l = p_left.scale, _mid_offset(p_left)
     s_r, c_r = weight.params.scale, _mid_offset(weight.params)
@@ -336,6 +374,7 @@ def execute_forward_plan(
         )
     kernel = BitGemmKernel(kernel_config or KernelConfig())
     counters: list[KernelCounters] = []
+    timings: list[StepTiming] = []
 
     def resolve(key, builder):
         if artifacts is not None and key is not None:
@@ -390,10 +429,12 @@ def execute_forward_plan(
         """``Â @ x`` with the adjacency exact (1-bit) and x quantized."""
         qx, px = quantize_at(step.quantize_b, x_real)
         packed_x = pack_matrix(qx, step.quantize_b.bits, layout="row")
+        start = time.perf_counter()
         res = kernel.run(
             packed_adj, packed_x, engine=step.backend, plan=adj_plan,
             registry=registry,
         )
+        timings.append(StepTiming(step.spec, step.backend, time.perf_counter() - start))
         counters.append(res.counters)
         # Â is exact binary: real = s_x * (Â q_x) + c_x * degree.
         return px.scale * res.output + _mid_offset(px) * degrees
@@ -403,7 +444,7 @@ def execute_forward_plan(
         qx, px = quantize_at(step.quantize_a, x_real)
         out = _affine_product(
             qx, px, packed_weights[layer], kernel, counters, step.backend,
-            registry=registry,
+            registry=registry, timings=timings, spec=step.spec,
         )
         return out + model.biases[layer]
 
@@ -416,7 +457,9 @@ def execute_forward_plan(
             h = relu(h)
 
     logits = softmax(h) if apply_softmax else h
-    return QuantizedForwardResult(logits=logits, counters=counters)
+    return QuantizedForwardResult(
+        logits=logits, counters=counters, timings=tuple(timings)
+    )
 
 
 def quantized_forward(

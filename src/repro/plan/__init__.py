@@ -13,11 +13,18 @@ description of the work:
   capability metadata and a cost pricer, registered by name in a
   :class:`BackendRegistry`.  The ``engine=`` string/callable API of
   :mod:`repro.core` is a compatibility shim over this registry.
-* :mod:`repro.plan.backends` — the three built-in host backends
-  (``packed``, ``blas``, ``sparse``) expressed as registry entries.
+* :mod:`repro.plan.backends` — the four built-in host backends
+  (``packed``, ``blas``, ``sparse``, ``einsum``) expressed as registry
+  entries.
 * :mod:`repro.plan.rates` — :class:`HostRates`, the frozen calibration
   record every pricer consumes (per-machine recalibration is a value,
   not a subclass).
+* :mod:`repro.plan.autotune` — measured autotuned dispatch:
+  :class:`ShapeBucket` workload quantization, the :class:`DispatchTable`
+  of per-backend timing medians every pricer consults *before* falling
+  back to the :class:`HostRates` model, the offline :func:`autotune`
+  sweep, and JSON persistence keyed by host fingerprint + registry
+  digest so measurements survive restarts.
 * :mod:`repro.plan.ir` — the IR: :class:`GemmSpec` (shape + bitwidths),
   per-GEMM :class:`QuantizeStep`/:class:`PackStep`/:class:`CensusStep`
   nodes, :class:`GemmStep` (one product with its resolved backend),
@@ -37,6 +44,15 @@ description of the work:
   algebra it carries).
 """
 
+from .autotune import (
+    DispatchTable,
+    ShapeBucket,
+    autotune,
+    bucket_for,
+    fraction_band,
+    host_fingerprint,
+    registry_digest,
+)
 from .backends import builtin_backends
 from .cache import CacheStats, LRUCache, PlanCache, PlanKey, artifact_nbytes
 from .executor import compile_gemm_plan, execute_gemm_plan, execute_gemm_plan_codes
@@ -74,6 +90,7 @@ __all__ = [
     "BackendRegistry",
     "CacheStats",
     "CensusStep",
+    "DispatchTable",
     "ExecutionPlan",
     "GemmSpec",
     "GemmStep",
@@ -86,7 +103,10 @@ __all__ = [
     "PlanSignature",
     "PriceContext",
     "QuantizeStep",
+    "ShapeBucket",
     "artifact_nbytes",
+    "autotune",
+    "bucket_for",
     "builtin_backends",
     "compile_forward_plan",
     "compile_gemm_plan",
@@ -94,6 +114,9 @@ __all__ = [
     "execute_gemm_plan",
     "execute_gemm_plan_codes",
     "forward_gemm_specs",
+    "fraction_band",
+    "host_fingerprint",
     "register_backend",
+    "registry_digest",
     "resolve_engine_name",
 ]

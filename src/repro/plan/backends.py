@@ -1,4 +1,4 @@
-"""The built-in host backends (``packed``, ``blas``, ``sparse``).
+"""The built-in host backends (``packed``, ``blas``, ``sparse``, ``einsum``).
 
 The plane-product loops that used to be inline branches of
 :func:`repro.core.bitgemm.bitgemm_planes` are expressed here as registry
@@ -89,6 +89,31 @@ def _run_sparse(
     return out
 
 
+#: Left-operand bitwidth ceiling of the ``einsum`` backend: the unpacked
+#: int64 plane stack costs ``bits * M * K * 8`` bytes, so the backend is
+#: only registered as eligible for the low bitwidths the paper sweeps.
+EINSUM_MAX_BITS = 8
+
+
+def _run_einsum(
+    a_packed: PackedBits,
+    b_packed: PackedBits,
+    tile_masks: Sequence[np.ndarray] | None = None,
+) -> np.ndarray:
+    """Bit-serial einsum: every pairwise plane product in one contraction.
+
+    Unpacks both operands to 0/1 planes and contracts
+    ``(ba, M, K) x (bb, K, N) -> (ba, bb, M, N)`` with a single int64
+    ``np.einsum`` call — exact at any supported bitwidth (binary dot
+    products accumulate in int64) and free of the per-plane-pair Python
+    loop the dense engines pay, which is where it can win on small
+    low-bitwidth products.
+    """
+    a_planes = a_packed.to_planes().astype(np.int64)  # (ba, M, K)
+    b_planes = b_packed.to_planes().astype(np.int64)  # (bb, K, N)
+    return np.einsum("imk,jkn->ijmn", a_planes, b_planes, optimize=True)
+
+
 # --------------------------------------------------------------------- #
 # Pricers (host seconds from HostRates; see serving.dispatch for context)
 # --------------------------------------------------------------------- #
@@ -133,9 +158,31 @@ def _price_sparse(ctx: PriceContext) -> BackendPrice:
     return BackendPrice(seconds=seconds, tile_fraction=fraction)
 
 
-def builtin_backends() -> tuple[Backend, Backend, Backend]:
-    """Fresh instances of the three built-in backends, registration order
-    ``packed``, ``blas``, ``sparse`` (ties in pricing resolve to the first)."""
+def _price_einsum(ctx: PriceContext) -> BackendPrice:
+    r, spec = ctx.rates, ctx.spec
+    # int64 plane stacks: 8 bytes per unpacked element (twice blas's
+    # float32 footprint), charged against the same unpack throughput and
+    # the same memory budget — a measured-fast einsum must not smuggle an
+    # allocation past the veto that would have stopped blas at half the
+    # size.
+    plane_bytes = 8 * (
+        spec.bits_a * spec.m * spec.k + spec.bits_b * spec.k * spec.n
+    )
+    seconds = (
+        r.einsum_call_overhead_s
+        + ctx.flops / r.einsum_flops
+        + plane_bytes / r.unpack_bytes_per_s
+    )
+    vetoed = (
+        ctx.blas_bytes_budget is not None and plane_bytes > ctx.blas_bytes_budget
+    )
+    return BackendPrice(seconds=seconds, bytes=plane_bytes, vetoed=vetoed)
+
+
+def builtin_backends() -> tuple[Backend, Backend, Backend, Backend]:
+    """Fresh instances of the four built-in backends, registration order
+    ``packed``, ``blas``, ``sparse``, ``einsum`` (ties in pricing resolve
+    to the first)."""
     return (
         Backend(
             name="packed",
@@ -161,5 +208,16 @@ def builtin_backends() -> tuple[Backend, Backend, Backend]:
                 summary="zero-tile-skipping popcount over non-zero 8x128 tiles",
             ),
             pricer=_price_sparse,
+        ),
+        Backend(
+            name="einsum",
+            run_planes=_run_einsum,
+            caps=BackendCaps(
+                max_bits_a=EINSUM_MAX_BITS,
+                max_bits_b=EINSUM_MAX_BITS,
+                summary="bit-serial int64 einsum over unpacked planes "
+                "(low bitwidths)",
+            ),
+            pricer=_price_einsum,
         ),
     )

@@ -10,8 +10,10 @@ Before this layer existed, serving juggled three separate LRUs — packed
 weights, packed adjacencies/tile masks, and (implicitly) per-operand
 ballot reuse inside the kernel.  A :class:`PlanCache` unifies them: every
 plan artifact (packed weight, packed adjacency + census, compiled
-:class:`~repro.plan.ir.ExecutionPlan`) is stored under a content-derived
-key whose first element names its *kind*.  Kinds occupy separate LRU
+:class:`~repro.plan.ir.ExecutionPlan`, the measured
+:class:`~repro.plan.autotune.DispatchTable` under its
+``(host, registry)`` identity) is stored under a content-derived key
+whose first element names its *kind*.  Kinds occupy separate LRU
 segments with independent capacities — so a burst of never-repeating
 batches cannot evict the small, hot packed weights — but share one lookup
 API, one byte accounting and one aggregated telemetry view.
@@ -38,7 +40,7 @@ V = TypeVar("V")
 
 #: A plan-cache key: a tuple whose first element names the artifact kind,
 #: e.g. ``("weight", layer, bits, engine)``, ``("adjacency", *digests)``,
-#: ``("plan", *digests)``.
+#: ``("plan", *digests)``, ``("table", host, registry)``.
 PlanKey = tuple
 
 

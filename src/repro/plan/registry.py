@@ -18,7 +18,7 @@ dispatcher's pricing loop.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 import numpy as np
@@ -27,6 +27,7 @@ from ..errors import ConfigError, ShapeError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..core.bitpack import PackedBits
+    from .autotune import DispatchTable
     from .ir import GemmSpec
     from .rates import HostRates
 
@@ -97,6 +98,10 @@ class BackendPrice:
     vetoed: bool = False
     #: The measured non-zero tile fraction the price used, if any.
     tile_fraction: float | None = None
+    #: Where the estimate came from: ``"model"`` (the analytic
+    #: :class:`~repro.plan.rates.HostRates` pricer) or ``"tuned"`` (a
+    #: measured median from a :class:`~repro.plan.autotune.DispatchTable`).
+    source: str = "model"
 
     @property
     def effective_s(self) -> float:
@@ -116,9 +121,12 @@ class PriceContext:
     #: Measured non-zero tile fraction of the left operand, when a census
     #: has been observed for exactly this product's shape.
     tile_fraction: float | None = None
-    #: Byte budget for unpacked plane temporaries (the blas memory veto);
-    #: ``None`` disables the veto.
+    #: Byte budget for unpacked plane temporaries (the blas/einsum memory
+    #: veto); ``None`` disables the veto.
     blas_bytes_budget: int | None = None
+    #: Measured timing table consulted *before* the analytic pricer
+    #: (see :mod:`repro.plan.autotune`); ``None`` keeps pricing analytic.
+    table: "DispatchTable | None" = None
 
     @property
     def pairs(self) -> int:
@@ -164,10 +172,29 @@ class Backend:
             raise ConfigError(f"backend name must be a non-empty string, got {self.name!r}")
 
     def price(self, ctx: PriceContext) -> BackendPrice:
-        """Modeled host cost; ``inf`` seconds when the backend has no pricer."""
-        if self.pricer is None:
-            return BackendPrice(seconds=math.inf)
-        return self.pricer(ctx)
+        """Host cost of this backend for one product.
+
+        With a measured :class:`~repro.plan.autotune.DispatchTable` on the
+        context, the tuned bucket median is consulted *first* and the
+        analytic pricer is the fallback (no confident measurement yet, or
+        no table at all).  Two guards keep measurement subordinate to
+        resources: a backend the analytic pricer *vetoes* (the blas memory
+        budget) stays vetoed no matter how fast it measured, and a backend
+        with neither pricer nor measurement prices ``inf``.
+        """
+        model = (
+            self.pricer(ctx) if self.pricer is not None
+            else BackendPrice(seconds=math.inf)
+        )
+        if ctx.table is None or model.vetoed:
+            return model
+        tuned = ctx.table.tuned_price(self.name, ctx)
+        if tuned is None:
+            return model
+        # Only the *seconds* are measured; the working-set estimate is
+        # still the model's (the allocation happens regardless of how the
+        # product was priced, and telemetry reads it off the decision).
+        return replace(tuned, bytes=model.bytes)
 
 
 class BackendRegistry:
@@ -228,14 +255,20 @@ class BackendRegistry:
     def price_all(self, ctx: PriceContext) -> dict[str, BackendPrice]:
         """Price every eligible, priceable backend for one product.
 
-        Insertion (registration) order is preserved, which makes engine
-        choice deterministic under price ties.
+        A backend is priceable when it has an analytic pricer *or* the
+        context's tuned table holds a confident measurement for it — so a
+        registered backend without a cost model still becomes routable
+        once the autotuner has timed it.  Insertion (registration) order
+        is preserved, which makes engine choice deterministic under price
+        ties.
         """
-        return {
-            b.name: b.price(ctx)
-            for b in self.eligible(ctx.spec)
-            if b.pricer is not None
-        }
+        prices: dict[str, BackendPrice] = {}
+        for b in self.eligible(ctx.spec):
+            price = b.price(ctx)
+            if b.pricer is None and price.source != "tuned":
+                continue
+            prices[b.name] = price
+        return prices
 
 
 _default_registry: BackendRegistry | None = None

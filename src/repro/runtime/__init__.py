@@ -5,6 +5,7 @@ from .executor import (
     QGTC_FRAMEWORK_OVERHEAD_S,
     QGTCRunConfig,
     modeled_batch_report,
+    modeled_plan_report,
     qgtc_epoch_report,
 )
 from .packing import BatchPayload, TransferMode, batch_payload, batch_transfer_time
@@ -23,6 +24,7 @@ __all__ = [
     "batch_payload",
     "batch_transfer_time",
     "modeled_batch_report",
+    "modeled_plan_report",
     "profile_batch",
     "profile_batches",
     "qgtc_epoch_report",

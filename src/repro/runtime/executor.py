@@ -16,16 +16,23 @@ launch it, and convert it to modeled time:
 Calibrated per-batch framework overhead (Python dataloader + dispatch) is
 documented next to its constant.
 
-The unit of modeling is one batch: :func:`modeled_batch_report` converts a
-single :class:`~repro.runtime.profilebatch.BatchProfile` into an
-:class:`~repro.runtime.report.EpochReport`; :func:`qgtc_epoch_report`
-merges the per-batch reports over an epoch, and the serving engine
-(:mod:`repro.serving`) accumulates the same per-batch reports for the
-batches it actually executes.
+The unit of modeling is one batch.  The only data-dependent inputs are
+the batch's node count and its adjacency tile census, and the census
+already lives on the plan layer: :func:`modeled_plan_report` models a
+batch straight from the :class:`~repro.tc.kernel.TileSkipPlan` its packed
+adjacency carries — the same ballot the executed kernels skip by — so a
+serving session describes modeled and measured work from one artifact
+with no re-censusing.  :func:`qgtc_epoch_report` merges per-batch reports
+over an epoch from pre-measured
+:class:`~repro.runtime.profilebatch.BatchProfile` statistics (the cheap
+``O(E)`` census path for paper-scale figure sweeps), and
+:func:`modeled_batch_report` remains as a deprecated shim over the same
+closed forms for callers still holding a ``BatchProfile``.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -34,7 +41,7 @@ from ..gnn.models import GNNModel
 from ..plan.ir import GemmSpec, forward_gemm_specs
 from ..tc.costmodel import TCCostModel
 from ..tc.hardware import RTX3090, DeviceSpec
-from ..tc.kernel import KernelConfig, derive_tile_counters
+from ..tc.kernel import KernelConfig, TileSkipPlan, derive_tile_counters
 from .packing import TransferMode, batch_transfer_time
 from .profilebatch import BatchProfile
 from .report import EpochReport
@@ -43,6 +50,7 @@ __all__ = [
     "QGTC_FRAMEWORK_OVERHEAD_S",
     "QGTCRunConfig",
     "modeled_batch_report",
+    "modeled_plan_report",
     "qgtc_epoch_report",
 ]
 
@@ -114,6 +122,47 @@ def _spec_counters(
     )
 
 
+def modeled_plan_report(
+    model: GNNModel,
+    config: QGTCRunConfig,
+    *,
+    num_nodes: int,
+    tile_plan: TileSkipPlan,
+    device: DeviceSpec = RTX3090,
+    dataset: str = "",
+    cost: TCCostModel | None = None,
+) -> EpochReport:
+    """Model one batch (all layers) as a single-batch :class:`EpochReport`.
+
+    ``tile_plan`` is the batch adjacency's measured zero-tile ballot — the
+    artifact an executed plan already carries on its census node
+    (:class:`~repro.gnn.quantized.PackedAdjacency` ``.plan``) — so the
+    serving engine attributes modeled device time to each executed batch
+    without re-censusing anything: modeled and measured skip counts come
+    from literally the same masks.  Only 1-bit plans describe an
+    adjacency; anything else is a caller error, not a modeling choice.
+    Pass a pre-built ``cost`` model when calling in a loop.
+    """
+    if tile_plan.bits != 1:
+        raise ConfigError(
+            f"an adjacency tile plan has exactly one bit plane, got "
+            f"{tile_plan.bits}; this report models the 1-bit aggregation "
+            "operand"
+        )
+    mt, kt = tile_plan.tile_grid
+    return _modeled_report(
+        model,
+        config,
+        num_nodes=num_nodes,
+        mt=mt,
+        kt=kt,
+        nnz_tiles=tile_plan.summary().nonzero_tiles,
+        device=device,
+        dataset=dataset,
+        cost=cost,
+    )
+
+
 def modeled_batch_report(
     profile: BatchProfile,
     model: GNNModel,
@@ -123,18 +172,55 @@ def modeled_batch_report(
     dataset: str = "",
     cost: TCCostModel | None = None,
 ) -> EpochReport:
-    """Model one batch (all layers) as a single-batch :class:`EpochReport`.
+    """Deprecated shim: model one batch from a :class:`BatchProfile`.
 
-    The building block of :func:`qgtc_epoch_report`; also used by the
-    serving engine to attribute modeled device time to each executed batch.
-    Pass a pre-built ``cost`` model when calling in a loop.
+    The profile argument duplicates what the plan layer already knows —
+    an executed batch's adjacency artifact carries its measured census —
+    so new code calls :func:`modeled_plan_report` with the
+    :class:`~repro.tc.kernel.TileSkipPlan` instead (epoch sweeps over
+    pre-profiled datasets go through :func:`qgtc_epoch_report`, which
+    consumes profiles directly).  This wrapper maps the profile onto the
+    same closed forms and will be removed once external callers migrate.
     """
+    warnings.warn(
+        "modeled_batch_report(profile, ...) is deprecated; use "
+        "modeled_plan_report(model, config, num_nodes=..., tile_plan=...) "
+        "with the batch adjacency's TileSkipPlan",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _modeled_report(
+        model,
+        config,
+        num_nodes=profile.num_nodes,
+        mt=profile.mt,
+        kt=profile.kt,
+        nnz_tiles=profile.nnz_tiles,
+        device=device,
+        dataset=dataset,
+        cost=cost,
+    )
+
+
+def _modeled_report(
+    model: GNNModel,
+    config: QGTCRunConfig,
+    *,
+    num_nodes: int,
+    mt: int,
+    kt: int,
+    nnz_tiles: int,
+    device: DeviceSpec = RTX3090,
+    dataset: str = "",
+    cost: TCCostModel | None = None,
+) -> EpochReport:
+    """Shared closed forms: one batch modeled from its census grid."""
     cost = cost or TCCostModel(device)
     fb = config.feature_bits
     wb = config.effective_weight_bits
     report = EpochReport(system=config.label, dataset=dataset)
 
-    n = profile.num_nodes
+    n = num_nodes
     report.num_batches += 1
     report.framework_s += config.framework_overhead_s
     report.transfer_s += batch_transfer_time(
@@ -142,7 +228,7 @@ def modeled_batch_report(
     ).seconds
 
     jumping = config.kernel.zero_tile_jumping
-    agg_processed = [profile.nnz_tiles if jumping else profile.total_tiles]
+    agg_processed = [nnz_tiles if jumping else mt * kt]
 
     # The per-layer GEMM shapes/bitwidths come from the same plan nodes the
     # executed forward dispatches (plan/ir.forward_gemm_specs), so modeled
@@ -155,9 +241,9 @@ def modeled_batch_report(
         agg_counters = _spec_counters(
             agg_spec,
             # The adjacency grid is the *measured* census grid of the
-            # profiled batch, not a padding recomputation.
-            mt=profile.mt,
-            kt=profile.kt,
+            # batch, not a padding recomputation.
+            mt=mt,
+            kt=kt,
             processed_per_plane=agg_processed,
             jumping=jumping,
             config=config.kernel,
@@ -208,8 +294,16 @@ def qgtc_epoch_report(
     report = EpochReport(system=config.label, dataset=dataset)
     for profile in profiles:
         report.merge(
-            modeled_batch_report(
-                profile, model, config, device, dataset=dataset, cost=cost
+            _modeled_report(
+                model,
+                config,
+                num_nodes=profile.num_nodes,
+                mt=profile.mt,
+                kt=profile.kt,
+                nnz_tiles=profile.nnz_tiles,
+                device=device,
+                dataset=dataset,
+                cost=cost,
             )
         )
     return report

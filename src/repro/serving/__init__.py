@@ -11,7 +11,13 @@ per-batch packed adjacencies + tile masks, and compiled plans all live in
 one content-keyed :class:`~repro.plan.cache.PlanCache` with per-kind
 segments and shared telemetry.  Incoming subgraph requests are coalesced
 into block-diagonal batched executions bounded by member and node
-budgets.
+budgets.  Dispatch is *measured*, not just modeled: the dispatcher's
+shape-bucketed :class:`~repro.plan.autotune.DispatchTable` (the plan
+cache's ``table`` segment) overrides analytic prices with timing medians,
+every executed round feeds its per-GEMM wall-clock back in, and
+``ServingConfig(dispatch_table_path=...)`` round-trips the table to disk
+so a restarted service dispatches from the previous session's
+measurements immediately.
 
 This is the seam later scaling work (sharding, async execution, new
 backends) plugs into: everything above it speaks ``Subgraph in, logits

@@ -35,6 +35,16 @@ rather than a subclass (the legacy class attributes remain as the
 defaults, so existing subclass recalibrations keep working).  Backends
 registered later are priced automatically as long as they carry a pricer.
 
+The analytic model is only the *fallback*: a dispatcher built with a
+measured :class:`~repro.plan.autotune.DispatchTable` (``table=``) prices
+each product from the table's shape-bucketed backend timing medians
+wherever a confident measurement exists, and the serving engine feeds
+every executed plan's per-GEMM wall-clock back through
+:meth:`CostModelDispatcher.record_timing` — so warm replays continuously
+sharpen the very table that routes them.  Vetoed backends stay vetoed
+(resource budgets outrank measurements), and a backend without a pricer
+becomes routable once the tuner has timed it.
+
 A dispatcher instance is a valid ``engine=`` argument anywhere
 :data:`~repro.core.bitgemm.Engine` is accepted; under the plan/execute
 split its per-product decisions are frozen into the compiled
@@ -48,6 +58,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from ..errors import ConfigError
+from ..plan.autotune import DispatchTable
 from ..plan.ir import GemmSpec
 from ..plan.rates import HostRates
 from ..plan.registry import BackendPrice, BackendRegistry, PriceContext, default_registry
@@ -79,6 +90,14 @@ class DispatchDecision:
     tile_fraction: float | None = None
     #: Every priced backend's answer, in registry order.
     prices: Mapping[str, BackendPrice] = field(default_factory=dict)
+    #: Backends whose price came from the measured dispatch table rather
+    #: than the analytic model (empty when pricing was purely analytic).
+    tuned_backends: tuple[str, ...] = ()
+
+    @property
+    def tuned(self) -> bool:
+        """Whether the *chosen* engine was priced from measurement."""
+        return self.engine in self.tuned_backends
 
 
 class CostModelDispatcher:
@@ -108,6 +127,10 @@ class CostModelDispatcher:
     #: operand gather, row scatter).  A block-diagonal batch has roughly
     #: one group per member ~= ``1/fraction`` groups.
     SPARSE_GROUP_OVERHEAD_S = 150e-6
+    #: Sustained int64 contraction FLOP/s of the bit-serial einsum backend.
+    EINSUM_FLOPS = 2.0e9
+    #: Fixed unpack + dispatch overhead per einsum product.
+    EINSUM_CALL_OVERHEAD_S = 120e-6
 
     def __init__(
         self,
@@ -116,6 +139,7 @@ class CostModelDispatcher:
         blas_bytes_budget: int = 512 * 1024 * 1024,
         rates: HostRates | None = None,
         registry: BackendRegistry | None = None,
+        table: DispatchTable | None = None,
     ) -> None:
         if blas_bytes_budget < 1:
             raise ConfigError(
@@ -130,8 +154,13 @@ class CostModelDispatcher:
             blas_pair_overhead_s=self.BLAS_PAIR_OVERHEAD_S,
             unpack_bytes_per_s=self.UNPACK_BYTES_PER_S,
             sparse_group_overhead_s=self.SPARSE_GROUP_OVERHEAD_S,
+            einsum_flops=self.EINSUM_FLOPS,
+            einsum_call_overhead_s=self.EINSUM_CALL_OVERHEAD_S,
         )
         self.registry = registry or default_registry()
+        #: Measured timing table consulted before the analytic model;
+        #: ``None`` keeps every price analytic.
+        self.table = table
         #: Measured non-zero tile fraction of the batch currently being
         #: served; ``None`` until the serving engine observes one.
         self.tile_fraction: float | None = None
@@ -166,6 +195,28 @@ class CostModelDispatcher:
         self.tile_fraction = fraction
         self._observed_nodes = nodes
 
+    def record_timing(
+        self,
+        spec: GemmSpec,
+        backend: str,
+        seconds: float,
+        *,
+        tile_fraction: float | None = None,
+    ) -> None:
+        """Feed one measured execution back into the dispatch table.
+
+        Called by the serving engine with each executed plan step's
+        wall-clock (``tile_fraction`` carries the batch's census for
+        aggregation products, matching the coordinates :meth:`decide`
+        prices with, so online samples land in the buckets that are
+        actually consulted).  A no-op without a table — an untuned
+        dispatcher stays purely analytic.
+        """
+        if self.table is not None:
+            self.table.record_spec(
+                spec, backend, seconds, tile_fraction=tile_fraction
+            )
+
     # ------------------------------------------------------------------ #
     def decide(
         self, m: int, k: int, n: int, bits_a: int, bits_b: int
@@ -190,6 +241,7 @@ class CostModelDispatcher:
             rates=self.rates,
             tile_fraction=fraction,
             blas_bytes_budget=self.blas_bytes_budget,
+            table=self.table,
         )
         prices = self.registry.price_all(ctx)
         if not prices:
@@ -211,6 +263,9 @@ class CostModelDispatcher:
             sparse_s=sparse.effective_s if sparse else math.inf,
             tile_fraction=fraction,
             prices=prices,
+            tuned_backends=tuple(
+                name for name, price in prices.items() if price.source == "tuned"
+            ),
         )
 
     def __call__(self, m: int, k: int, n: int, bits_a: int, bits_b: int) -> str:

@@ -31,6 +31,16 @@ plan/execute split of :mod:`repro.plan`:
   dispatcher, which is what routes large coalesced block-diagonal batches
   (mostly zero between members) to the zero-tile-skipping ``sparse``
   backend.
+* **Measured autotuned dispatch** — the dispatcher carries a
+  shape-bucketed :class:`~repro.plan.autotune.DispatchTable` (held in the
+  plan cache's ``table`` segment) and every executed plan step's measured
+  wall-clock is fed back into it, so dispatch sharpens from guessed
+  :class:`~repro.plan.rates.HostRates` prices toward measured medians as
+  the session serves.  ``ServingConfig(dispatch_table_path=...)``
+  round-trips the table to disk (keyed by host fingerprint + registry
+  digest): a restarted session loads the previous session's measurements
+  and dispatches from them immediately — zero warm-up timing runs
+  (:meth:`InferenceEngine.save_dispatch_table`).
 
 Activation quantization parameters are frozen per site on first use
 (:class:`~repro.gnn.quantized.ActivationCalibration`), which makes results
@@ -38,18 +48,21 @@ independent of how requests were coalesced: a batched execution and the
 equivalent per-request executions return bit-identical logits.
 
 Each executed batch is also priced on the emulated RTX 3090 via
-:func:`~repro.runtime.executor.modeled_batch_report` — whose counters are
-derived from the same plan-node specs the executed forward dispatches —
-so a session reports both measured host wall-clock and modeled device
-time from one description of the work.
+:func:`~repro.runtime.executor.modeled_plan_report` — whose counters are
+derived from the same plan-node specs the executed forward dispatches and
+the same cached adjacency ballot the kernels skip by — so a session
+reports both measured host wall-clock and modeled device time from one
+description of the work, with no per-batch re-censusing.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -71,11 +84,11 @@ from ..graph.batching import (
     batch_subgraphs_by_nodes,
     round_full,
 )
+from ..plan.autotune import DispatchTable, host_fingerprint, registry_digest
 from ..plan.cache import CacheStats, LRUCache, PlanCache, PlanKey
 from ..plan.ir import ExecutionPlan, compile_forward_plan
 from ..plan.registry import default_registry
-from ..runtime.executor import QGTCRunConfig, modeled_batch_report
-from ..runtime.profilebatch import profile_batch
+from ..runtime.executor import QGTCRunConfig, modeled_plan_report
 from ..runtime.report import EpochReport
 from ..tc.costmodel import TCCostModel
 from ..tc.hardware import RTX3090, DeviceSpec
@@ -120,6 +133,22 @@ class ServingConfig:
     #: any registered backend name forces that backend for the whole
     #: session.
     engine: str = "cost"
+    #: Where the session's measured dispatch table round-trips to disk.
+    #: When the file exists it is loaded at startup (host fingerprint and
+    #: registry digest validated — a foreign table degrades to analytic
+    #: pricing); :meth:`InferenceEngine.save_dispatch_table` writes it
+    #: back.  ``None`` keeps the table session-local.
+    dispatch_table_path: str | None = None
+    #: Per-bucket confidence floor of the dispatch table: a measured
+    #: median overrides the analytic model only after this many samples.
+    table_min_samples: int = 2
+    #: Staleness horizon of table cells, counted in recordings; ``None``
+    #: (the default) trusts every sample — including everything a loaded
+    #: table persisted, whatever horizon the recording session used.
+    table_stale_after: int | None = None
+    #: Feed executed plan steps' measured timings back into the dispatch
+    #: table (only meaningful with ``engine="cost"``).
+    record_timings: bool = True
     kernel: KernelConfig = field(default_factory=KernelConfig)
     device: DeviceSpec = RTX3090
     apply_softmax: bool = False
@@ -145,11 +174,16 @@ class ServingConfig:
             "weight_cache_capacity",
             "adjacency_cache_capacity",
             "plan_cache_capacity",
+            "table_min_samples",
         ):
             if getattr(self, name) < 1:
                 raise ConfigError(
                     f"{name} must be >= 1, got {getattr(self, name)}"
                 )
+        if self.table_stale_after is not None and self.table_stale_after < 1:
+            raise ConfigError(
+                f"table_stale_after must be >= 1 or None, got {self.table_stale_after}"
+            )
         if self.engine not in ("cost", "auto") and self.engine not in default_registry():
             raise ConfigError(
                 "engine must be 'cost', 'auto' or a registered backend "
@@ -196,6 +230,9 @@ class SessionStats:
     tiles_skipped: int = 0
     #: Measured host seconds spent inside batch execution.
     wall_s: float = 0.0
+    #: Executed-GEMM timing samples fed back into the dispatch table
+    #: (0 when dispatch is not cost-model or feedback is disabled).
+    autotune_samples: int = 0
     #: Per-kind telemetry windows onto the session's unified plan cache.
     weight_cache: CacheStats = field(default_factory=CacheStats)
     adjacency_cache: CacheStats = field(default_factory=CacheStats)
@@ -256,11 +293,18 @@ class InferenceEngine:
                 "weight": self.config.weight_cache_capacity,
                 "adjacency": self.config.adjacency_cache_capacity,
                 "plan": self.config.plan_cache_capacity,
+                # One dispatch table per session identity: the (host,
+                # registry) key is constant for a session's lifetime, so
+                # this segment exists for the unified lookup/telemetry
+                # surface, not for eviction behavior.
+                "table": 1,
             }
         )
         self._engine: Engine
         if self.config.engine == "cost":
-            self._engine = CostModelDispatcher(self.config.device)
+            self._engine = CostModelDispatcher(
+                self.config.device, table=self._resolve_dispatch_table()
+            )
         else:
             self._engine = self.config.engine
         self._pending: deque[InferenceRequest] = deque()
@@ -307,6 +351,68 @@ class InferenceEngine:
     def cache_telemetry(self) -> dict[str, CacheStats]:
         """Per-kind stats snapshots of the unified plan cache."""
         return self._cache.telemetry()
+
+    # ------------------------------------------------------------------ #
+    # The measured dispatch table (a plan artifact like any other)
+    # ------------------------------------------------------------------ #
+    def _table_key(self) -> PlanKey:
+        # A table's identity is the identity of its measurements: the
+        # measuring host and the backend set it timed.
+        return ("table", host_fingerprint(), registry_digest())
+
+    def _resolve_dispatch_table(self) -> DispatchTable:
+        """The session's dispatch table, via the plan cache's ``table``
+        segment — loaded from ``dispatch_table_path`` when the file exists
+        (identity-validated; a foreign table degrades to empty, i.e. pure
+        analytic pricing), fresh otherwise."""
+
+        def build() -> DispatchTable:
+            path = self.config.dispatch_table_path
+            if path is not None and os.path.exists(path):
+                # This session's confidence policy wins over whatever the
+                # recording session saved (stale_after=None un-ages the
+                # persisted samples entirely).
+                return DispatchTable.load(path).with_confidence(
+                    min_samples=self.config.table_min_samples,
+                    stale_after=self.config.table_stale_after,
+                )
+            return DispatchTable(
+                min_samples=self.config.table_min_samples,
+                stale_after=self.config.table_stale_after,
+            )
+
+        return self._cache.get_or_build(self._table_key(), build)
+
+    @property
+    def dispatch_table(self) -> DispatchTable | None:
+        """The measured dispatch table, when cost-model dispatch is on."""
+        if isinstance(self._engine, CostModelDispatcher):
+            return self._engine.table
+        return None
+
+    def save_dispatch_table(self, path: str | Path | None = None) -> Path:
+        """Persist the measured dispatch table to disk.
+
+        ``path`` defaults to the config's ``dispatch_table_path``.  The
+        saved JSON is keyed by host fingerprint + registry digest, so a
+        future session (:class:`ServingConfig` pointing at the same path)
+        dispatches from this session's measurements with zero warm-up
+        timing runs — and a *different* host or backend set refuses the
+        measurements and falls back to the analytic model.
+        """
+        table = self.dispatch_table
+        if table is None:
+            raise ConfigError(
+                "no dispatch table to save: the session does not use "
+                "cost-model dispatch (engine != 'cost')"
+            )
+        path = path or self.config.dispatch_table_path
+        if path is None:
+            raise ConfigError(
+                "no path: pass save_dispatch_table(path) or set "
+                "ServingConfig(dispatch_table_path=...)"
+            )
+        return table.save(path)
 
     # ------------------------------------------------------------------ #
     # Packed weights (plan-node artifacts, shared across batches)
@@ -537,6 +643,22 @@ class InferenceEngine:
             apply_softmax=self.config.apply_softmax,
         )
         self.stats.wall_s += time.perf_counter() - start
+        if self.config.record_timings and isinstance(self._engine, CostModelDispatcher):
+            # Every executed step — compiled or replayed — is a free
+            # autotuning sample: feed its measured wall-clock back into the
+            # dispatch table under the same (shape, bits, census) bucket
+            # the dispatcher prices with.
+            fraction = adjacency.nonzero_fraction
+            for timing in forward.timings:
+                self._engine.record_timing(
+                    timing.spec,
+                    timing.backend,
+                    timing.seconds,
+                    tile_fraction=(
+                        fraction if timing.spec.role == "aggregate" else None
+                    ),
+                )
+            self.stats.autotune_samples += len(forward.timings)
 
         batch_id = self._next_batch_id
         self._next_batch_id += 1
@@ -549,12 +671,16 @@ class InferenceEngine:
         self.stats.tiles_total += totals.tiles_total
         self.stats.tiles_skipped += totals.tiles_skipped
         if self.config.track_device_time:
+            # The adjacency artifact already carries the batch's measured
+            # ballot, so the modeled report needs no separate BatchProfile
+            # census — modeled and measured skips come from the same masks.
             self.device_report.merge(
-                modeled_batch_report(
-                    profile_batch(batch),
+                modeled_plan_report(
                     self.model,
                     self._run_config,
-                    self.config.device,
+                    num_nodes=batch.num_nodes,
+                    tile_plan=adjacency.plan,
+                    device=self.config.device,
                     cost=self._cost,
                 )
             )

@@ -3,8 +3,8 @@
 AE-style randomized validation (in the spirit of the PPoPP'22 artifact):
 seeded sweeps over shapes — including empty subgraphs, single-node
 matrices and non-multiple-of-8 rows — crossed with bitwidths 1-8 and the
-three host engines {packed, blas, sparse}, every product asserted equal to
-``matmul_int_reference`` bit for bit.  The sparse engine additionally gets
+built-in host engines {packed, blas, sparse, einsum}, every product
+asserted equal to ``matmul_int_reference`` bit for bit.  The sparse engine additionally gets
 structure-directed cases (block-diagonal, all-zero, stale/foreign masks)
 because its correctness argument — skipped tiles contribute nothing — is
 exactly what these tests pin down.

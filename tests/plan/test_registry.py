@@ -48,7 +48,7 @@ def _reference_backend(name: str = "reference") -> Backend:
 
 class TestRegistry:
     def test_default_registry_holds_builtins_in_order(self):
-        assert default_registry().names() == ("packed", "blas", "sparse")
+        assert default_registry().names() == ("packed", "blas", "sparse", "einsum")
 
     def test_get_unknown_raises_with_known_names(self):
         registry = BackendRegistry(builtin_backends())
@@ -72,8 +72,8 @@ class TestRegistry:
 
     def test_iteration_and_len(self):
         registry = BackendRegistry(builtin_backends())
-        assert len(registry) == 3
-        assert [b.name for b in registry] == ["packed", "blas", "sparse"]
+        assert len(registry) == 4
+        assert [b.name for b in registry] == ["packed", "blas", "sparse", "einsum"]
 
     def test_backend_name_must_be_string(self):
         with pytest.raises(ConfigError):
@@ -116,7 +116,7 @@ class TestPricing:
         registry = BackendRegistry(builtin_backends())
         registry.register(_reference_backend())
         prices = registry.price_all(self._ctx(GemmSpec(64, 64, 64, 2, 2)))
-        assert set(prices) == {"packed", "blas", "sparse"}
+        assert set(prices) == {"packed", "blas", "sparse", "einsum"}
 
     def test_vetoed_price_is_effectively_infinite(self):
         price = BackendPrice(seconds=1.0, bytes=10, vetoed=True)

@@ -11,11 +11,16 @@ from repro.gnn.models import make_batched_gin, make_cluster_gcn
 from repro.graph.batching import batch_subgraphs, induced_subgraphs
 from repro.graph.generators import planted_partition_graph
 from repro.partition import metis_like_partition
-from repro.runtime.executor import QGTCRunConfig, qgtc_epoch_report
+from repro.runtime.executor import (
+    QGTCRunConfig,
+    modeled_batch_report,
+    modeled_plan_report,
+    qgtc_epoch_report,
+)
 from repro.runtime.profilebatch import profile_batch, profile_batches
 from repro.runtime.report import EpochReport
 from repro.tc.hardware import RTX3090
-from repro.tc.kernel import KernelConfig
+from repro.tc.kernel import KernelConfig, TileSkipPlan, plan_tile_skip
 
 
 @pytest.fixture(scope="module")
@@ -61,6 +66,47 @@ class TestProfiles:
         frac_single = np.mean([p.nonzero_tile_fraction for p in single])
         frac_batched = np.mean([p.nonzero_tile_fraction for p in batched])
         assert frac_batched < frac_single
+
+
+class TestModeledPlanReport:
+    """Batch-profile-free modeling: the census comes from the adjacency
+    artifact's TileSkipPlan, not a separate BatchProfile pass."""
+
+    def test_matches_deprecated_profile_shim(self, setup):
+        _, subs = setup
+        gin = make_batched_gin(16, 4)
+        for batch in batch_subgraphs(subs, 4):
+            packed = batch.packed_adjacency(self_loops=True)
+            tile_plan = plan_tile_skip(packed)
+            from_plan = modeled_plan_report(
+                gin,
+                QGTCRunConfig(feature_bits=4),
+                num_nodes=batch.num_nodes,
+                tile_plan=tile_plan,
+            )
+            assert tile_plan.summary().nonzero_tiles == tile_plan.nonzero_tiles
+            with pytest.warns(DeprecationWarning):
+                from_profile = modeled_batch_report(
+                    profile_batch(batch), gin, QGTCRunConfig(feature_bits=4)
+                )
+            # Same census, same closed forms: identical modeled report.
+            assert from_plan.total_s(include_transfer=True) == (
+                from_profile.total_s(include_transfer=True)
+            )
+            assert from_plan.tiles_skipped == from_profile.tiles_skipped
+            assert from_plan.mma_ops == from_profile.mma_ops
+
+    def test_rejects_multibit_plan(self, setup):
+        _, subs = setup
+        gin = make_batched_gin(16, 4)
+        mask = np.ones((4, 1), dtype=bool)
+        with pytest.raises(ConfigError, match="1-bit"):
+            modeled_plan_report(
+                gin,
+                QGTCRunConfig(feature_bits=4),
+                num_nodes=32,
+                tile_plan=TileSkipPlan(masks=(mask, mask)),
+            )
 
 
 class TestQGTCEpoch:

@@ -14,9 +14,11 @@ from repro.serving.dispatch import CostModelDispatcher
 
 class TestCostModelDispatcher:
     def test_returns_valid_engine(self):
+        # Tiny products may route to the bit-serial einsum backend (one
+        # call, no per-pair overhead); everything else lands dense.
         dispatch = CostModelDispatcher()
         for shape in [(8, 8, 8), (64, 128, 64), (1024, 1024, 64)]:
-            assert dispatch(*shape, 1, 8) in ("packed", "blas")
+            assert dispatch(*shape, 1, 8) in ("packed", "blas", "einsum")
 
     def test_decision_is_consistent_with_call(self):
         dispatch = CostModelDispatcher()
@@ -156,7 +158,7 @@ class TestHostRates:
 
     def test_prices_expose_every_backend(self):
         decision = CostModelDispatcher().decide(256, 128, 64, 2, 4)
-        assert set(decision.prices) == {"packed", "blas", "sparse"}
+        assert set(decision.prices) == {"packed", "blas", "sparse", "einsum"}
         assert decision.prices["packed"].seconds == decision.packed_s
         assert decision.prices["blas"].bytes == decision.blas_bytes
         assert decision.prices["blas"].vetoed == decision.memory_vetoed

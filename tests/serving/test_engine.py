@@ -117,7 +117,7 @@ class TestResults:
     def test_engine_choice_does_not_change_results(self, gin_model, subgraphs):
         shared = InferenceEngine(gin_model, ServingConfig(feature_bits=8))
         baseline = shared.infer(subgraphs[:4])
-        for engine_name in ("packed", "blas", "auto", "sparse"):
+        for engine_name in ("packed", "blas", "auto", "sparse", "einsum"):
             other = InferenceEngine(
                 gin_model,
                 ServingConfig(feature_bits=8, engine=engine_name),
@@ -268,9 +268,9 @@ class TestPlanCache:
         assert engine.stats.plan_cache.hits >= 1
         assert plan.signature.num_nodes == batch.num_nodes
         registered = set(engine.plan_artifacts.kinds())
-        assert registered == {"weight", "adjacency", "plan"}
+        assert registered == {"weight", "adjacency", "plan", "table"}
         for step in plan.gemm_steps():
-            assert step.backend in ("packed", "blas", "sparse")
+            assert step.backend in ("packed", "blas", "sparse", "einsum")
         # The plan's weight nodes carry the session's cache keys.
         assert plan.layers[0].update.pack_b.cache_key == engine._weight_key(0)
 
@@ -305,7 +305,7 @@ class TestPlanCache:
         )
         engine.infer(subgraphs)
         telemetry = engine.cache_telemetry()
-        assert set(telemetry) == {"weight", "adjacency", "plan"}
+        assert set(telemetry) == {"weight", "adjacency", "plan", "table"}
         total = engine.plan_artifacts.total_stats()
         assert total.lookups == sum(t.lookups for t in telemetry.values())
         assert engine.plan_artifacts.nbytes >= engine.adjacency_cache.nbytes
