@@ -11,12 +11,20 @@ cold one-shot path (which re-packs weights per request) and prints
 session telemetry: per-kind plan-cache hit rates, batch occupancy,
 measured wall-clock and modeled RTX 3090 device time.
 
+The epilogue demonstrates dispatch-table persistence: the session's
+measured timings are saved via ``ServingConfig(dispatch_table_path=...)``
+and a *restarted* session warm-starts from them — making the identical
+dispatch decisions with zero warm-up timing runs, which the script
+asserts.
+
 Run:  python examples/serving_session.py
 """
 
 from __future__ import annotations
 
+import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -24,6 +32,21 @@ from repro.gnn import make_batched_gin, quantized_forward
 from repro.graph import batch_subgraphs, induced_subgraphs, load_dataset
 from repro.partition import partition_graph
 from repro.serving import InferenceEngine, ServingConfig
+
+
+def plan_decisions(engine: InferenceEngine, batches) -> list[tuple[str, ...]]:
+    """The backend frozen into every GEMM of each batch's compiled plan."""
+    decisions = []
+    for batch in batches:
+        plan = engine.plan_for(batch)
+        decisions.append(
+            tuple(
+                step.backend
+                for layer in plan.layers
+                for step in (layer.aggregate, layer.update)
+            )
+        )
+    return decisions
 
 
 def main() -> None:
@@ -44,9 +67,11 @@ def main() -> None:
           f"(re-quantizes + re-packs weights per request)")
 
     # ---------------- warm serving session -------------------------------- #
-    engine = InferenceEngine(
-        model, ServingConfig(feature_bits=8, batch_size=8)
-    ).warm_up()
+    table_path = Path(tempfile.mkdtemp(prefix="repro-session-")) / "table.json"
+    config = ServingConfig(
+        feature_bits=8, batch_size=8, dispatch_table_path=str(table_path)
+    )
+    engine = InferenceEngine(model, config).warm_up()
     engine.infer(subgraphs)  # first pass: calibrates activations
     start = time.perf_counter()
     results = list(engine.stream(iter(subgraphs)))  # steady state
@@ -83,6 +108,30 @@ def main() -> None:
     # node; downstream consumers never see batching.
     mean_conf = np.mean([r.logits.max(axis=1).mean() for r in results])
     print(f"  {len(results)} results, mean top-logit {mean_conf:.3f}")
+
+    # ---------------- dispatch-table warm restart -------------------------- #
+    # Persist the session's measured timings, then "restart the service":
+    # a fresh session pointed at the same path loads the measurements at
+    # startup and makes the identical dispatch decisions from request one
+    # — zero warm-up timing runs.
+    engine.save_dispatch_table()
+    batches = list(batch_subgraphs(subgraphs, 8))
+    # Drop the session's cached plans so both sessions compile fresh from
+    # the same completed table: the cached plans froze their decisions
+    # mid-session (before the table had all its samples), which is
+    # exactly the staleness plan replay accepts and a comparison of
+    # *current* dispatch policy must not.
+    engine.plan_cache.clear()
+    before = plan_decisions(engine, batches)
+    restarted = InferenceEngine(model, config, calibration=engine.calibration)
+    loaded = restarted.dispatch_table
+    assert loaded.sample_count() > 0, "restart should load saved measurements"
+    after = plan_decisions(restarted, batches)
+    assert after == before, "a warm restart must reproduce dispatch decisions"
+    print(f"\ndispatch-table warm restart: {loaded.sample_count()} measured "
+          f"samples loaded from {table_path.name}; all "
+          f"{sum(len(d) for d in after)} per-GEMM decisions across "
+          f"{len(batches)} rounds identical to the recording session")
 
 
 if __name__ == "__main__":

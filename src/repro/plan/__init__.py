@@ -51,10 +51,18 @@ from .autotune import (
     bucket_for,
     fraction_band,
     host_fingerprint,
+    merge_saved_dispatch_tables,
     registry_digest,
 )
 from .backends import builtin_backends
-from .cache import CacheStats, LRUCache, PlanCache, PlanKey, artifact_nbytes
+from .cache import (
+    CacheStats,
+    LRUCache,
+    PlanCache,
+    PlanKey,
+    ThreadSafeLRUCache,
+    artifact_nbytes,
+)
 from .executor import compile_gemm_plan, execute_gemm_plan, execute_gemm_plan_codes
 from .ir import (
     CensusStep,
@@ -104,6 +112,7 @@ __all__ = [
     "PriceContext",
     "QuantizeStep",
     "ShapeBucket",
+    "ThreadSafeLRUCache",
     "artifact_nbytes",
     "autotune",
     "bucket_for",
@@ -116,6 +125,7 @@ __all__ = [
     "forward_gemm_specs",
     "fraction_band",
     "host_fingerprint",
+    "merge_saved_dispatch_tables",
     "register_backend",
     "registry_digest",
     "resolve_engine_name",

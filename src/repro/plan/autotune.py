@@ -38,6 +38,7 @@ import json
 import math
 import platform
 import statistics
+import threading
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
@@ -63,6 +64,7 @@ __all__ = [
     "bucket_for",
     "fraction_band",
     "host_fingerprint",
+    "merge_saved_dispatch_tables",
     "registry_digest",
     "synthesize_operands",
 ]
@@ -124,6 +126,7 @@ class ShapeBucket:
 
     @classmethod
     def from_key(cls, key: str) -> "ShapeBucket":
+        """Parse a :meth:`key` string back into a bucket (load path)."""
         try:
             shape, bits, band = key.split(":")
             m, k, n = (int(v) for v in shape.split("x"))
@@ -202,15 +205,24 @@ class BucketTiming:
 
     @property
     def count(self) -> int:
+        """Samples currently held in the ring."""
         return len(self.samples)
 
     @property
     def median_s(self) -> float:
+        """Median of the held samples, in seconds."""
         return statistics.median(self.samples)
 
 
 class DispatchTable:
     """Shape-bucketed measured backend timings; see module docstring.
+
+    Typical use::
+
+        table = DispatchTable(min_samples=2)
+        table.record_spec(spec, "sparse", measured_seconds)
+        table.save("table.json")                  # host/registry-keyed
+        warm = DispatchTable.load("table.json")   # next session, same host
 
     Parameters
     ----------
@@ -254,6 +266,10 @@ class DispatchTable:
         #: Why :meth:`load` returned an empty table, when it did.
         self.mismatch: str | None = None
         self._entries: dict[ShapeBucket, dict[str, BucketTiming]] = {}
+        # Serializes recording/merging/serialization so a pool worker can
+        # snapshot or merge a table that another worker is feeding samples
+        # into.  Reentrant: merge() records through the same lock.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -262,13 +278,14 @@ class DispatchTable:
         """Add one timing sample for ``backend`` in ``bucket``."""
         if seconds < 0:
             raise ConfigError(f"a timing sample must be >= 0 s, got {seconds}")
-        self.generation += 1
-        cell = self._entries.setdefault(bucket, {}).get(backend)
-        if cell is None:
-            cell = BucketTiming(max_samples=self.max_samples)
-            self._entries[bucket][backend] = cell
-        cell.samples.append(float(seconds))
-        cell.last_seen = self.generation
+        with self._lock:
+            self.generation += 1
+            cell = self._entries.setdefault(bucket, {}).get(backend)
+            if cell is None:
+                cell = BucketTiming(max_samples=self.max_samples)
+                self._entries[bucket][backend] = cell
+            cell.samples.append(float(seconds))
+            cell.last_seen = self.generation
 
     def record_spec(
         self,
@@ -298,10 +315,11 @@ class DispatchTable:
 
     def median(self, bucket: ShapeBucket, backend: str) -> float | None:
         """Measured median seconds, or ``None`` below the confidence bar."""
-        cell = self._entries.get(bucket, {}).get(backend)
-        if cell is None or not self._confident(cell):
-            return None
-        return cell.median_s
+        with self._lock:
+            cell = self._entries.get(bucket, {}).get(backend)
+            if cell is None or not self._confident(cell):
+                return None
+            return cell.median_s
 
     def tuned_price(self, backend: str, ctx: PriceContext) -> BackendPrice | None:
         """The measured price a registry pricer consults before its model.
@@ -370,10 +388,90 @@ class DispatchTable:
         return bucket in self._entries
 
     # ------------------------------------------------------------------ #
+    # Merging (cross-shard warm-state exchange)
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "DispatchTable") -> int:
+        """Adopt another shard's samples into this table; returns how many.
+
+        The cross-worker half of pool autotuning: each
+        :class:`~repro.serving.pool.ServingPool` shard owns its table, and
+        on a merge interval every shard adopts the samples its siblings
+        measured — so a bucket only shard 2's traffic exercises still
+        prices from measurement on shard 0.  Semantics:
+
+        * **identity-checked** — both tables must describe the same host
+          fingerprint and registry digest (:class:`~repro.errors.ConfigError`
+          otherwise; a table :meth:`load` degraded to empty merges as a
+          no-op, which is how foreign shard *files* are skipped rather
+          than fatal);
+        * **bounded** — adopted samples append to the same
+          ``max_samples`` rings recording uses, so a merge can never grow
+          a cell past its ring;
+        * **monotone** — samples are only ever added, so any cell that
+          was confident before the merge stays confident after it;
+        * **idempotent while held** — a sample already present in the
+          destination ring (exact float match: wall-clock samples are
+          effectively unique) is not adopted twice, so re-merging an
+          unchanged shard file every interval is a no-op.  Samples a
+          ring has already rotated *out* are not remembered, so a
+          sibling can re-introduce one; the adoption cap below bounds
+          how far such echoes can push out local recency;
+        * **recency-preserving** — one merge adopts at most the ring's
+          free space plus half its capacity per cell, so a sibling's
+          backlog can never flush all of a shard's own recent local
+          measurements in a single merge.
+
+        The whole merge counts as one recording for staleness purposes:
+        adopted cells are stamped at the post-merge generation.
+        """
+        if other is self:
+            return 0
+        if (other.host, other.registry_id) != (self.host, self.registry_id):
+            raise ConfigError(
+                "cannot merge dispatch tables with different identities: "
+                f"({other.host!r}, {other.registry_id!r}) != "
+                f"({self.host!r}, {self.registry_id!r})"
+            )
+        with other._lock:
+            snapshot = {
+                bucket: {
+                    backend: list(cell.samples)
+                    for backend, cell in cells.items()
+                }
+                for bucket, cells in other._entries.items()
+            }
+        adopted = 0
+        with self._lock:
+            self.generation += 1
+            for bucket, cells in snapshot.items():
+                mine = self._entries.setdefault(bucket, {})
+                for backend, samples in cells.items():
+                    cell = mine.get(backend)
+                    if cell is None:
+                        cell = BucketTiming(max_samples=self.max_samples)
+                        mine[backend] = cell
+                    held = set(cell.samples)
+                    fresh = [s for s in samples if s not in held]
+                    # Keep the newest foreign samples, bounded so at
+                    # least half the ring of local recency survives.
+                    space = self.max_samples - cell.count
+                    limit = max(space, self.max_samples // 2, 1)
+                    fresh = fresh[-limit:]
+                    if fresh:
+                        cell.samples.extend(fresh)
+                        cell.last_seen = self.generation
+                        adopted += len(fresh)
+        return adopted
+
+    # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
     def to_payload(self) -> dict:
         """JSON-serializable form of the table (schema ``version`` 1)."""
+        with self._lock:
+            return self._payload_locked()
+
+    def _payload_locked(self) -> dict:
         return {
             "version": TABLE_FORMAT_VERSION,
             "host": self.host,
@@ -471,6 +569,41 @@ class DispatchTable:
         return table
 
 
+def merge_saved_dispatch_tables(
+    table: DispatchTable, paths: Iterable[str | Path]
+) -> dict[str, int | None]:
+    """Merge saved shard tables into ``table`` through the JSON load path.
+
+    The persistence-mediated form of :meth:`DispatchTable.merge` — what a
+    :class:`~repro.serving.pool.ServingPool` runs on its merge interval
+    and at shutdown: every path is read with :meth:`DispatchTable.load`
+    (so identity validation is exactly the single-session rule) and
+    merged.  A file recorded on a different host, against a different
+    registry, with an unknown schema or simply unreadable loads as an
+    *empty* table and therefore merges as a no-op: foreign shard files
+    are skipped, never fatal.
+
+    Returns ``{path: adopted_sample_count | None}`` — ``None`` marks a
+    path that was skipped (its load degraded), with the reason available
+    from the degraded table's ``mismatch``.
+
+    Example::
+
+        table = engine.dispatch_table
+        merge_saved_dispatch_tables(table, ["shard-1.json", "shard-2.json"])
+    """
+    outcomes: dict[str, int | None] = {}
+    for path in paths:
+        loaded = DispatchTable.load(
+            path, host=table.host, registry_id=table.registry_id
+        )
+        if loaded.mismatch is not None:
+            outcomes[str(path)] = None
+            continue
+        outcomes[str(path)] = table.merge(loaded)
+    return outcomes
+
+
 # --------------------------------------------------------------------- #
 # Offline tuning
 # --------------------------------------------------------------------- #
@@ -547,6 +680,12 @@ def autotune(
     max_seconds_per_backend: float | None = None,
 ) -> DispatchTable:
     """Benchmark every eligible registered backend on a workload's buckets.
+
+    Typical use — pre-measure a serving session's shapes offline, then
+    dispatch from the measurements::
+
+        table = autotune([(spec, 1 / members) for spec in forward_specs])
+        dispatcher = CostModelDispatcher(table=table)
 
     ``workload`` items are :class:`~repro.plan.ir.GemmSpec`\\ s, optionally
     paired with an observed non-zero tile fraction (``(spec, fraction)``) —

@@ -21,6 +21,7 @@ API, one byte accounting and one aggregated telemetry view.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Generic, Hashable, Mapping, TypeVar
@@ -32,6 +33,7 @@ __all__ = [
     "LRUCache",
     "PlanCache",
     "PlanKey",
+    "ThreadSafeLRUCache",
     "artifact_nbytes",
 ]
 
@@ -55,6 +57,7 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total lookups (hits + misses)."""
         return self.hits + self.misses
 
     @property
@@ -152,6 +155,52 @@ class LRUCache(Generic[K, V]):
         self._bytes = 0
 
 
+class ThreadSafeLRUCache(LRUCache[K, V]):
+    """An :class:`LRUCache` whose operations are serialized by a lock.
+
+    The segment a :class:`~repro.serving.pool.ServingPool` shares across
+    its workers (packed weights are session-invariant, so every shard
+    reads the same entries).  ``get_or_build`` holds the lock across the
+    build, so a value is built exactly once even when several workers
+    miss the same key concurrently — for packed weights that is the
+    point: one pack, pool-wide.  Per-shard segments stay plain
+    :class:`LRUCache` (each is owned by a single worker thread).
+    """
+
+    def __init__(
+        self, capacity: int, *, size_of: Callable[[V], int] | None = None
+    ) -> None:
+        """Create the cache; parameters match :class:`LRUCache`."""
+        super().__init__(capacity, size_of=size_of)
+        self._lock = threading.RLock()
+
+    def get(self, key: K) -> V | None:
+        """Thread-safe :meth:`LRUCache.get`."""
+        with self._lock:
+            return super().get(key)
+
+    def put(self, key: K, value: V) -> None:
+        """Thread-safe :meth:`LRUCache.put`."""
+        with self._lock:
+            super().put(key, value)
+
+    def get_or_build(self, key: K, builder: Callable[[], V]) -> V:
+        """Thread-safe cache-through read; the build runs under the lock
+        so concurrent misses on one key build the value exactly once."""
+        with self._lock:
+            return super().get_or_build(key, builder)
+
+    def keys(self) -> list[K]:
+        """Thread-safe :meth:`LRUCache.keys`."""
+        with self._lock:
+            return super().keys()
+
+    def clear(self) -> None:
+        """Thread-safe :meth:`LRUCache.clear`."""
+        with self._lock:
+            super().clear()
+
+
 def artifact_nbytes(value: object) -> int:
     """Byte footprint a :class:`PlanCache` budgets for an artifact.
 
@@ -170,6 +219,14 @@ class PlanCache:
         w = cache.get_or_build(("weight", 0, 8, "cost"), build_weight)
         cache.segment("weight").stats.hits   # per-kind telemetry
         cache.total_stats().hits             # shared telemetry
+
+    ``shared`` mounts pre-built segments (typically
+    :class:`ThreadSafeLRUCache` instances owned by a
+    :class:`~repro.serving.pool.ServingPool`) under their kind names, so
+    several caches can read and populate one segment — the pool's
+    shard-local caches all alias one packed-weight segment while keeping
+    private adjacency/plan segments.  A shared kind overrides any
+    capacity given for the same name.
     """
 
     def __init__(
@@ -177,13 +234,23 @@ class PlanCache:
         capacities: Mapping[str, int],
         *,
         size_of: Callable[[object], int] = artifact_nbytes,
+        shared: Mapping[str, LRUCache] | None = None,
     ) -> None:
-        if not capacities:
+        """Build one LRU segment per ``capacities`` entry, then mount any
+        ``shared`` pre-built segments over their kind names."""
+        if not capacities and not shared:
             raise ConfigError("a plan cache needs at least one artifact kind")
         self._segments: dict[str, LRUCache] = {
             str(kind): LRUCache(capacity, size_of=size_of)
             for kind, capacity in capacities.items()
         }
+        for kind, segment in (shared or {}).items():
+            if not isinstance(segment, LRUCache):
+                raise ConfigError(
+                    f"shared segment {kind!r} must be an LRUCache, "
+                    f"got {type(segment).__name__}"
+                )
+            self._segments[str(kind)] = segment
 
     # ------------------------------------------------------------------ #
     def kinds(self) -> tuple[str, ...]:
@@ -212,6 +279,7 @@ class PlanCache:
         return self._segment_for(key).get(key)
 
     def put(self, key: PlanKey, value: object) -> None:
+        """Insert a value into the key's kind segment (LRU eviction)."""
         self._segment_for(key).put(key, value)
 
     def get_or_build(self, key: PlanKey, builder: Callable[[], object]):

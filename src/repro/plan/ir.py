@@ -18,7 +18,7 @@ per GEMM); execution lives next to the numerics it drives —
 :func:`repro.gnn.quantized.execute_forward_plan` for whole forwards.
 :func:`forward_gemm_specs` is deliberately the *only* place the per-layer
 GEMM shapes of a forward pass are enumerated: the plan compiler and the
-runtime's modeled reports (:func:`repro.runtime.executor.modeled_batch_report`)
+runtime's modeled reports (:func:`repro.runtime.executor.modeled_plan_report`)
 both consume it, so modeled and measured counters describe the same work
 by construction.
 """
@@ -185,6 +185,7 @@ class ExecutionPlan:
 
     @property
     def num_layers(self) -> int:
+        """Model layers this plan describes."""
         return len(self.layers)
 
     def gemm_steps(self) -> Iterator[GemmStep]:

@@ -7,6 +7,7 @@ from .executor import (
     modeled_batch_report,
     modeled_plan_report,
     qgtc_epoch_report,
+    step_time_attribution,
 )
 from .packing import BatchPayload, TransferMode, batch_payload, batch_transfer_time
 from .pcie import TransferEstimate, transfer_time
@@ -28,5 +29,6 @@ __all__ = [
     "profile_batch",
     "profile_batches",
     "qgtc_epoch_report",
+    "step_time_attribution",
     "transfer_time",
 ]

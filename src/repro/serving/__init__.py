@@ -19,9 +19,15 @@ every executed round feeds its per-GEMM wall-clock back in, and
 so a restarted service dispatches from the previous session's
 measurements immediately.
 
-This is the seam later scaling work (sharding, async execution, new
-backends) plugs into: everything above it speaks ``Subgraph in, logits
-out``, and everything below it is described by plan nodes.
+Scale-out lives here too: a :class:`~repro.serving.pool.ServingPool`
+shards the request stream across N workers — each owning a shard-local
+plan cache over a shared read-only packed-weight segment, draining a
+bounded queue with deadline-aware coalescing — and keeps the shards
+mutually warm (compiled-plan broadcast via
+:class:`~repro.serving.pool.PlanExchange`, dispatch-table merging
+through the JSON persistence path).  Everything above this layer speaks
+``Subgraph in, logits out``, and everything below it is described by
+plan nodes.
 """
 
 from .cache import (
@@ -40,6 +46,14 @@ from .engine import (
     ServingConfig,
     SessionStats,
 )
+from .pool import (
+    PlanExchange,
+    PoolConfig,
+    PoolResult,
+    PoolStats,
+    ServingPool,
+    WorkerStats,
+)
 
 __all__ = [
     "AdjacencyCacheKey",
@@ -52,7 +66,13 @@ __all__ = [
     "InferenceResult",
     "LRUCache",
     "PlanCache",
+    "PlanExchange",
+    "PoolConfig",
+    "PoolResult",
+    "PoolStats",
     "ServingConfig",
+    "ServingPool",
     "SessionStats",
     "WeightCacheKey",
+    "WorkerStats",
 ]

@@ -88,7 +88,11 @@ from ..plan.autotune import DispatchTable, host_fingerprint, registry_digest
 from ..plan.cache import CacheStats, LRUCache, PlanCache, PlanKey
 from ..plan.ir import ExecutionPlan, compile_forward_plan
 from ..plan.registry import default_registry
-from ..runtime.executor import QGTCRunConfig, modeled_plan_report
+from ..runtime.executor import (
+    QGTCRunConfig,
+    modeled_plan_report,
+    step_time_attribution,
+)
 from ..runtime.report import EpochReport
 from ..tc.costmodel import TCCostModel
 from ..tc.hardware import RTX3090, DeviceSpec
@@ -106,7 +110,17 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ServingConfig:
-    """Session-wide execution policy of an :class:`InferenceEngine`."""
+    """Session-wide execution policy of an :class:`InferenceEngine`.
+
+    Typical use::
+
+        config = ServingConfig(
+            feature_bits=8,
+            batch_size=8,                      # coalesce up to 8 requests
+            dispatch_table_path="table.json",  # persist measured dispatch
+        )
+        engine = InferenceEngine(model, config)
+    """
 
     feature_bits: int = 4
     #: Weight bitwidth; ``None`` follows ``feature_bits`` (paper sweeps).
@@ -192,6 +206,7 @@ class ServingConfig:
 
     @property
     def effective_weight_bits(self) -> int:
+        """Weight bitwidth in force (``weight_bits`` or ``feature_bits``)."""
         return self.weight_bits if self.weight_bits is not None else self.feature_bits
 
 
@@ -233,6 +248,13 @@ class SessionStats:
     #: Executed-GEMM timing samples fed back into the dispatch table
     #: (0 when dispatch is not cost-model or feedback is disabled).
     autotune_samples: int = 0
+    #: Compiled plans adopted from a pool's cross-worker plan exchange
+    #: instead of being compiled locally (0 outside a pool).
+    plans_adopted: int = 0
+    #: Measured wall-clock attributed per executed backend name — the
+    #: :func:`~repro.runtime.executor.step_time_attribution` of every
+    #: executed plan step this session ran.
+    backend_seconds: dict[str, float] = field(default_factory=dict)
     #: Per-kind telemetry windows onto the session's unified plan cache.
     weight_cache: CacheStats = field(default_factory=CacheStats)
     adjacency_cache: CacheStats = field(default_factory=CacheStats)
@@ -281,10 +303,34 @@ class InferenceEngine:
         config: ServingConfig | None = None,
         *,
         calibration: ActivationCalibration | None = None,
+        shared_segments: dict[str, LRUCache] | None = None,
+        plan_exchange=None,
+        label: str = "",
     ) -> None:
+        """Create a session over ``model`` with policy ``config``.
+
+        ``calibration`` shares frozen activation parameters across
+        sessions (what makes differently-coalesced executions
+        bit-identical).  The remaining keywords are the pool-worker hooks
+        of :class:`~repro.serving.pool.ServingPool`: ``shared_segments``
+        mounts pre-built cache segments (the pool's shared read-only
+        packed-weight segment) into this session's plan cache,
+        ``plan_exchange`` is a cross-worker board consulted before
+        compiling and published to after (see
+        :class:`~repro.serving.pool.PlanExchange`), and ``label`` names
+        this session in pool telemetry and the modeled device report.
+        """
         self.model = model
         self.config = config or ServingConfig()
-        self.calibration = calibration or ActivationCalibration()
+        # Explicit None check: an *empty* ActivationCalibration is falsy
+        # (it defines __len__), and silently swapping a caller's fresh
+        # shared calibration for a private one breaks the cross-session
+        # bit-identity guarantee sharing exists for.
+        self.calibration = (
+            calibration if calibration is not None else ActivationCalibration()
+        )
+        self.label = label
+        self._plan_exchange = plan_exchange
         #: The session's unified plan cache: packed weights, packed
         #: adjacencies + tile masks, and compiled forward plans, each kind
         #: in its own LRU segment under content-derived keys.
@@ -298,7 +344,8 @@ class InferenceEngine:
                 # this segment exists for the unified lookup/telemetry
                 # surface, not for eviction behavior.
                 "table": 1,
-            }
+            },
+            shared=shared_segments,
         )
         self._engine: Engine
         if self.config.engine == "cost":
@@ -322,7 +369,8 @@ class InferenceEngine:
             kernel=self.config.kernel,
         )
         self.device_report = EpochReport(
-            system=f"serving:{self._run_config.label}", dataset="session"
+            system=f"serving:{self._run_config.label}",
+            dataset=self.label or "session",
         )
 
     # ------------------------------------------------------------------ #
@@ -501,12 +549,29 @@ class InferenceEngine:
 
         ``adjacency`` passes the batch's already-resolved packed adjacency
         (as :meth:`_execute` does) to avoid a second cache lookup.
+
+        In a pool, a local miss first consults the cross-worker plan
+        exchange: a plan another shard already compiled for this exact
+        content key is adopted (plans are immutable metadata, so sharing
+        is safe), and a locally compiled plan is broadcast for the
+        sibling shards — compiled-plan metadata spreads on first compile.
         """
         if adjacency is None:
             adjacency = self.packed_adjacency_for(batch)
-        return self._cache.get_or_build(
-            self._plan_key(batch), lambda: self._compile_plan(batch, adjacency)
-        )
+        key = self._plan_key(batch)
+
+        def build() -> ExecutionPlan:
+            if self._plan_exchange is not None:
+                shared = self._plan_exchange.get(key)
+                if shared is not None:
+                    self.stats.plans_adopted += 1
+                    return shared
+            plan = self._compile_plan(batch, adjacency)
+            if self._plan_exchange is not None:
+                self._plan_exchange.publish(key, plan)
+            return plan
+
+        return self._cache.get_or_build(key, build)
 
     def _compile_plan(
         self, batch: SubgraphBatch, adjacency: PackedAdjacency
@@ -643,6 +708,10 @@ class InferenceEngine:
             apply_softmax=self.config.apply_softmax,
         )
         self.stats.wall_s += time.perf_counter() - start
+        for backend, seconds in step_time_attribution(forward.timings).items():
+            self.stats.backend_seconds[backend] = (
+                self.stats.backend_seconds.get(backend, 0.0) + seconds
+            )
         if self.config.record_timings and isinstance(self._engine, CostModelDispatcher):
             # Every executed step — compiled or replayed — is a free
             # autotuning sample: feed its measured wall-clock back into the

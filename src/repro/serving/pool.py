@@ -1,0 +1,857 @@
+"""Sharded serving worker pool with cross-worker plan-cache warming.
+
+A single :class:`~repro.serving.engine.InferenceEngine` session tops out
+where its working set does: once the distinct coalesced batches of a
+mixed-session workload outgrow the ``adjacency``/``plan`` segments of one
+plan cache, every round re-densifies, re-packs, re-ballots and
+re-compiles — the cold path wearing a session costume.  Because
+``InferenceEngine._execute`` is a pure function of (plan, batch,
+artifacts), the fix is structural rather than heroic: shard the request
+stream across N workers, give each worker its *own* shard-local
+:class:`~repro.plan.cache.PlanCache`, and let the shards share the state
+that is identical everywhere.  A :class:`ServingPool` is that system:
+
+* **sharding** — each submitted request is routed to one worker, by
+  structure digest (the default: structurally identical subgraphs always
+  land on the same shard, so each shard's cache holds a disjoint slice
+  of the workload and the pool's effective capacity is the *sum* of the
+  shard caches) or round-robin (balance over locality);
+* **shard-local sessions** — every worker owns a full
+  :class:`~repro.serving.engine.InferenceEngine` (private adjacency /
+  plan / table segments, private telemetry) and drains a bounded request
+  queue with **deadline-aware coalescing**: requests wait at most
+  ``max_delay_s`` for batch-mates, grouped by the same
+  :func:`~repro.graph.batching.round_full` member-cap/node-budget rule
+  the single-engine path uses;
+* **shared read-only weight segment** — packed layer weights are
+  session-invariant, so all shard caches mount one
+  :class:`~repro.plan.cache.ThreadSafeLRUCache` ``weight`` segment:
+  each layer is quantized and packed exactly once, pool-wide;
+* **cross-worker plan warming** — compiled-plan metadata is broadcast
+  through a :class:`PlanExchange` on first compile (plans are immutable
+  dataclasses; a sibling shard that misses locally adopts instead of
+  recompiling), and each shard's measured
+  :class:`~repro.plan.autotune.DispatchTable` is merged with its
+  siblings' through the existing JSON persistence path
+  (:meth:`~repro.serving.engine.InferenceEngine.save_dispatch_table` /
+  :meth:`~repro.plan.autotune.DispatchTable.load` /
+  :func:`~repro.plan.autotune.merge_saved_dispatch_tables`) every
+  ``merge_interval`` executed batches and at shutdown — so a backend
+  timing measured by one worker prices dispatch on all of them, and a
+  foreign or corrupt shard file is skipped, never fatal;
+* **process-pool escape hatch** — ``PoolConfig(mode="process")`` runs
+  :meth:`ServingPool.serve` across fork-spawned worker processes (one
+  engine per process, warm state exchanged only through the
+  dispatch-table files) for workloads that outgrow the GIL.
+
+Results are bit-identical to a single engine serving the same requests
+with the same frozen :class:`~repro.gnn.quantized.ActivationCalibration`
+— coalescing and sharding are throughput decisions, never accuracy
+decisions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import queue
+import shutil
+import tempfile
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..gnn.models import GNNModel
+from ..gnn.quantized import ActivationCalibration
+from ..graph.batching import Subgraph, round_full
+from ..plan.autotune import DispatchTable, merge_saved_dispatch_tables
+from ..plan.cache import CacheStats, ThreadSafeLRUCache, artifact_nbytes
+from ..runtime.report import EpochReport
+from .engine import InferenceEngine, ServingConfig
+
+__all__ = [
+    "PlanExchange",
+    "PoolConfig",
+    "PoolResult",
+    "PoolStats",
+    "ServingPool",
+    "WorkerStats",
+]
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Sizing and policy knobs of a :class:`ServingPool`.
+
+    Example::
+
+        pool = ServingPool(
+            model,
+            ServingConfig(feature_bits=8),
+            pool=PoolConfig(workers=4, max_delay_s=0.002),
+        )
+    """
+
+    #: Number of shard workers (threads, or processes in process mode).
+    workers: int = 4
+    #: Bound of each shard's request queue; a full queue applies
+    #: backpressure to :meth:`ServingPool.submit` instead of growing
+    #: without limit.
+    queue_capacity: int = 256
+    #: Default coalescing deadline: a queued request waits at most this
+    #: long for batch-mates before its round executes.  The pool's
+    #: latency/occupancy dial — ``submit(deadline_s=...)`` overrides it
+    #: per request.
+    max_delay_s: float = 0.005
+    #: Executed batches between cross-shard dispatch-table merges;
+    #: ``None`` disables interval merging (the shutdown merge still
+    #: runs).
+    merge_interval: int | None = 32
+    #: ``"structure"`` routes structurally identical subgraphs to the
+    #: same shard (disjoint shard working sets — the capacity win);
+    #: ``"round-robin"`` spreads requests evenly (duplicated cache
+    #: entries, but the plan exchange recovers the compile cost).
+    shard_policy: str = "structure"
+    #: ``"thread"`` (shared weight segment + plan exchange) or
+    #: ``"process"`` (fork-based escape hatch; :meth:`ServingPool.serve`
+    #: only, warm state exchanged through dispatch-table files).
+    mode: str = "thread"
+    #: Directory the per-shard dispatch-table JSON files spool through
+    #: during merges; ``None`` uses a private temporary directory that is
+    #: removed at shutdown.
+    spool_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        """Validate every knob (fail construction, not the first merge)."""
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_capacity < 1:
+            raise ConfigError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.max_delay_s < 0:
+            raise ConfigError(
+                f"max_delay_s must be >= 0, got {self.max_delay_s}"
+            )
+        if self.merge_interval is not None and self.merge_interval < 1:
+            raise ConfigError(
+                f"merge_interval must be >= 1 or None, got {self.merge_interval}"
+            )
+        if self.shard_policy not in ("structure", "round-robin"):
+            raise ConfigError(
+                "shard_policy must be 'structure' or 'round-robin', "
+                f"got {self.shard_policy!r}"
+            )
+        if self.mode not in ("thread", "process"):
+            raise ConfigError(
+                f"mode must be 'thread' or 'process', got {self.mode!r}"
+            )
+
+
+class PlanExchange:
+    """Cross-worker compiled-plan board (the ``plan`` half of warming).
+
+    A lock-protected, bounded map from plan content keys to compiled
+    :class:`~repro.plan.ir.ExecutionPlan` values.  Workers publish on
+    first compile and consult on local cache misses; adopting a plan
+    skips the dispatcher pricing pass entirely.  Plans are immutable
+    metadata (frozen dataclasses a few hundred bytes each), so sharing
+    them across threads is safe by construction.
+
+    Example::
+
+        exchange = PlanExchange()
+        engine = InferenceEngine(model, config, plan_exchange=exchange)
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        """Create an empty board holding at most ``capacity`` plans
+        (oldest published evicted first)."""
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        #: Plans published by first compilers.
+        self.published = 0
+        #: Successful lookups by sibling shards.
+        self.adopted = 0
+        self._lock = threading.Lock()
+        self._plans: OrderedDict[tuple, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        """Plans currently held on the board."""
+        with self._lock:
+            return len(self._plans)
+
+    def get(self, key: tuple):
+        """The plan another worker compiled for ``key``, or ``None``."""
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.adopted += 1
+            return plan
+
+    def publish(self, key: tuple, plan) -> None:
+        """Broadcast a freshly compiled plan (first publisher wins)."""
+        with self._lock:
+            if key in self._plans:
+                return
+            self._plans[key] = plan
+            self.published += 1
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+
+
+class _SharedCalibration(ActivationCalibration):
+    """A view over a base calibration whose first-touch freeze is locked.
+
+    Calibration must be race-free across workers: two shards hitting an
+    unfrozen site concurrently could otherwise freeze different
+    parameters and silently break the batched == per-request bit-identity
+    guarantee.  Frozen sites are read lock-free (the hot path); only the
+    one-time calibrate takes the lock.
+    """
+
+    def __init__(self, base: ActivationCalibration) -> None:
+        super().__init__()
+        self._base = base
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._base)
+
+    @property
+    def sites(self):
+        """Read-only view of the base calibration's frozen sites."""
+        return self._base.sites
+
+    def quantize(self, site: str, values: np.ndarray, bits: int):
+        """Quantize with the site's frozen parameters, freezing under a
+        lock on first touch so exactly one worker calibrates each site."""
+        if (site, bits) in self._base._sites:
+            return self._base.quantize(site, values, bits)
+        with self._lock:
+            return self._base.quantize(site, values, bits)
+
+
+class PoolResult:
+    """Handle to one submitted request's logits (a minimal future).
+
+    Returned by :meth:`ServingPool.submit`; :meth:`result` blocks until
+    the owning shard has executed the request's round.  A worker-side
+    failure re-raises here, on the submitter.
+    """
+
+    __slots__ = ("request_id", "worker", "_event", "_logits", "_error")
+
+    def __init__(self, request_id: int, worker: str) -> None:
+        """Create a pending handle (filled in by the owning worker)."""
+        self.request_id = request_id
+        #: Label of the shard worker this request was routed to.
+        self.worker = worker
+        self._event = threading.Event()
+        self._logits: np.ndarray | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        """Whether the request has been executed (or failed)."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        """Block for and return this request's ``(nodes, classes)`` logits."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} not served within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._logits
+
+    @property
+    def logits(self) -> np.ndarray:
+        """The logits of a completed request (:meth:`result` without wait)."""
+        return self.result(timeout=0)
+
+    def _fill(self, logits: np.ndarray) -> None:
+        self._logits = logits
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+@dataclass(frozen=True)
+class WorkerStats:
+    """Snapshot of one shard worker's session counters."""
+
+    label: str
+    requests: int
+    batches: int
+    wall_s: float
+    autotune_samples: int
+    plans_adopted: int
+    #: Measured wall-clock attributed per executed backend.
+    backend_seconds: dict[str, float]
+    plan_cache: CacheStats
+    adjacency_cache: CacheStats
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Aggregated snapshot of a pool's serving counters."""
+
+    workers: int
+    requests: int
+    batches: int
+    #: Sum of per-shard measured execution seconds (shards overlap in
+    #: wall time, so this is attributed work, not elapsed time).
+    wall_s: float
+    #: Cross-shard dispatch-table merges performed so far.
+    table_merges: int
+    #: Plans broadcast through / adopted from the plan exchange.
+    plans_published: int
+    plans_adopted: int
+    #: Pool-wide measured seconds per executed backend.
+    backend_seconds: dict[str, float]
+    per_worker: tuple[WorkerStats, ...] = ()
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        """Average requests coalesced per executed round, pool-wide."""
+        if not self.batches:
+            return 0.0
+        return self.requests / self.batches
+
+
+@dataclass
+class _QueuedRequest:
+    seq: int
+    subgraph: Subgraph
+    deadline: float
+    future: PoolResult
+
+
+_SHUTDOWN = object()
+
+
+class _Worker:
+    """One shard: a thread draining a bounded queue into a private engine."""
+
+    def __init__(self, pool: "ServingPool", index: int) -> None:
+        self.pool = pool
+        self.index = index
+        self.label = f"w{index}"
+        self.queue: queue.Queue = queue.Queue(
+            maxsize=pool.pool_config.queue_capacity
+        )
+        self.engine = InferenceEngine(
+            pool.model,
+            pool.config,
+            calibration=pool._calibration,
+            shared_segments={"weight": pool._weight_segment},
+            plan_exchange=pool.plan_exchange,
+            label=self.label,
+        )
+        self.thread = threading.Thread(
+            target=self._run, name=f"serving-pool-{index}", daemon=True
+        )
+
+    def start(self) -> None:
+        self.thread.start()
+
+    def _run(self) -> None:
+        cfg = self.pool.config
+        stopping = False
+        while not stopping:
+            item = self.queue.get()
+            if item is _SHUTDOWN:
+                break
+            group = [item]
+            nodes = item.subgraph.num_nodes
+            deadline = item.deadline
+            # Deadline-aware coalescing: wait for batch-mates until the
+            # round fills or the earliest-arrived request's deadline
+            # expires — bounded added latency, maximal occupancy within it.
+            while True:
+                timeout = deadline - time.monotonic()
+                if timeout <= 0:
+                    break
+                try:
+                    nxt = self.queue.get(timeout=timeout)
+                except queue.Empty:
+                    break
+                if nxt is _SHUTDOWN:
+                    stopping = True
+                    break
+                if round_full(
+                    len(group),
+                    nodes,
+                    nxt.subgraph.num_nodes,
+                    cfg.max_batch_nodes,
+                    cfg.batch_size,
+                ):
+                    self._execute(group)
+                    group = [nxt]
+                    nodes = nxt.subgraph.num_nodes
+                    deadline = nxt.deadline
+                else:
+                    group.append(nxt)
+                    nodes += nxt.subgraph.num_nodes
+            self._execute(group)
+        # Shutdown: serve whatever is still queued, without waiting.
+        leftovers: list[_QueuedRequest] = []
+        while True:
+            try:
+                item = self.queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SHUTDOWN:
+                leftovers.append(item)
+        group, nodes = [], 0
+        for item in leftovers:
+            if round_full(
+                len(group), nodes, item.subgraph.num_nodes,
+                cfg.max_batch_nodes, cfg.batch_size,
+            ):
+                self._execute(group)
+                group, nodes = [], 0
+            group.append(item)
+            nodes += item.subgraph.num_nodes
+        self._execute(group)
+
+    def _execute(self, group: list[_QueuedRequest]) -> None:
+        if not group:
+            return
+        before = self.engine.stats.batches
+        try:
+            results = self.engine.infer([r.subgraph for r in group])
+        except BaseException as exc:  # surface on the submitter, keep serving
+            for request in group:
+                request.future._fail(exc)
+            return
+        for request, result in zip(group, results):
+            request.future._fill(result.logits)
+        self.pool._note_batches(self.engine.stats.batches - before)
+
+    def snapshot(self) -> WorkerStats:
+        stats = self.engine.stats
+        return WorkerStats(
+            label=self.label,
+            requests=stats.requests,
+            batches=stats.batches,
+            wall_s=stats.wall_s,
+            autotune_samples=stats.autotune_samples,
+            plans_adopted=stats.plans_adopted,
+            backend_seconds=dict(stats.backend_seconds),
+            plan_cache=self.engine.plan_cache.stats.snapshot(),
+            adjacency_cache=self.engine.adjacency_cache.stats.snapshot(),
+        )
+
+
+def _run_process_shard(args: tuple) -> tuple[int, list[np.ndarray], dict]:
+    """Serve one shard's requests in a worker process (escape hatch).
+
+    Top-level so it pickles; builds a private engine, serves the shard's
+    subgraphs, persists its measured dispatch table to the shard file and
+    returns (shard index, per-request logits, summary counters).
+    """
+    index, model, config, calibration, subgraphs, table_path = args
+    engine = InferenceEngine(
+        model, config, calibration=calibration, label=f"w{index}"
+    )
+    results = engine.infer(subgraphs)
+    if engine.dispatch_table is not None:
+        engine.save_dispatch_table(table_path)
+    stats = engine.stats
+    summary = {
+        "requests": stats.requests,
+        "batches": stats.batches,
+        "wall_s": stats.wall_s,
+        "autotune_samples": stats.autotune_samples,
+        "backend_seconds": dict(stats.backend_seconds),
+    }
+    return index, [r.logits for r in results], summary
+
+
+class ServingPool:
+    """Shard a request stream across N warm serving workers; see module doc.
+
+    Typical use::
+
+        pool = ServingPool(model, ServingConfig(feature_bits=8),
+                           pool=PoolConfig(workers=4))
+        results = pool.serve(subgraphs)        # submission-ordered
+        consume(results[0].logits)
+        print(pool.stats().mean_batch_occupancy)
+        pool.shutdown()                        # or: with ServingPool(...) as pool
+
+    Passing a shared ``calibration`` (or letting the pool freeze its own
+    on first traffic) makes pool results bit-identical to a single
+    :class:`~repro.serving.engine.InferenceEngine` serving the same
+    requests.
+    """
+
+    def __init__(
+        self,
+        model: GNNModel,
+        config: ServingConfig | None = None,
+        *,
+        pool: PoolConfig | None = None,
+        calibration: ActivationCalibration | None = None,
+    ) -> None:
+        """Build the shard workers (threads start immediately in thread
+        mode) over one ``model`` and a per-shard ``config`` policy."""
+        self.model = model
+        self.config = config or ServingConfig()
+        self.pool_config = pool or PoolConfig()
+        # None check, not truthiness: an empty calibration is falsy.
+        self._calibration = _SharedCalibration(
+            calibration if calibration is not None else ActivationCalibration()
+        )
+        #: Cross-worker compiled-plan board (thread mode).
+        self.plan_exchange = PlanExchange()
+        self._weight_segment = ThreadSafeLRUCache(
+            self.config.weight_cache_capacity, size_of=artifact_nbytes
+        )
+        self._lock = threading.Lock()
+        # Intake is atomic with respect to shutdown: submit() holds this
+        # across its closed-check *and* enqueue, and shutdown() sets
+        # _closed under it — so a request can never land on a queue after
+        # the worker's final drain (which would strand its future).  A
+        # separate lock from self._lock: a submit blocked on a full queue
+        # holds it, and workers must be able to take self._lock (batch
+        # accounting) to keep draining and unblock that submit.
+        self._intake_lock = threading.Lock()
+        self._merge_lock = threading.Lock()
+        self._next_seq = 0
+        self._round_robin = 0
+        self._batches_since_merge = 0
+        self._table_merges = 0
+        self._closed = False
+        self._process_stats: list[WorkerStats] = []
+        if self.pool_config.spool_dir is not None:
+            self._spool_dir = Path(self.pool_config.spool_dir)
+            self._spool_dir.mkdir(parents=True, exist_ok=True)
+            self._owns_spool = False
+        else:
+            self._spool_dir = Path(tempfile.mkdtemp(prefix="repro-pool-"))
+            self._owns_spool = True
+        self._workers: list[_Worker] = []
+        if self.pool_config.mode == "thread":
+            self._workers = [
+                _Worker(self, i) for i in range(self.pool_config.workers)
+            ]
+            for worker in self._workers:
+                worker.start()
+
+    # ------------------------------------------------------------------ #
+    # Sharding
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _structure_digest(subgraph: Subgraph) -> bytes:
+        h = hashlib.blake2b(digest_size=8)
+        h.update(subgraph.graph.indptr.tobytes())
+        h.update(b"|")
+        h.update(subgraph.graph.indices.tobytes())
+        return h.digest()
+
+    def shard_of(self, subgraph: Subgraph, seq: int) -> int:
+        """The worker index a request routes to under the shard policy."""
+        if self.pool_config.shard_policy == "round-robin":
+            return seq % self.pool_config.workers
+        digest = self._structure_digest(subgraph)
+        return int.from_bytes(digest, "little") % self.pool_config.workers
+
+    # ------------------------------------------------------------------ #
+    # Intake
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, subgraph: Subgraph, *, deadline_s: float | None = None
+    ) -> PoolResult:
+        """Queue one subgraph on its shard; returns a :class:`PoolResult`.
+
+        ``deadline_s`` bounds how long the request may wait for
+        batch-mates (default: the pool's ``max_delay_s``).  Blocks when
+        the shard's queue is full (bounded-queue backpressure).
+        """
+        if self.pool_config.mode != "thread":
+            raise ConfigError(
+                "submit() needs thread mode; process pools serve "
+                "synchronous workloads via serve()"
+            )
+        with self._intake_lock:
+            if self._closed:
+                raise ConfigError("pool is shut down")
+            seq = self._next_seq
+            self._next_seq += 1
+            shard = self.shard_of(subgraph, seq)
+            worker = self._workers[shard]
+            future = PoolResult(seq, worker.label)
+            delay = (
+                deadline_s
+                if deadline_s is not None
+                else self.pool_config.max_delay_s
+            )
+            worker.queue.put(
+                _QueuedRequest(
+                    seq=seq,
+                    subgraph=subgraph,
+                    deadline=time.monotonic() + delay,
+                    future=future,
+                )
+            )
+        return future
+
+    def serve(self, subgraphs: Sequence[Subgraph]) -> list[PoolResult]:
+        """Serve a whole workload; completed results in submission order.
+
+        Thread mode submits everything and waits; process mode ships each
+        shard's slice to a worker process (the escape hatch for
+        GIL-bound workloads) and merges the shards' dispatch tables from
+        their saved files afterwards.  An unfrozen calibration is frozen
+        in the parent (one forward touches every site) before forking,
+        so shard processes — which cannot propagate freezes back — all
+        quantize with the same parameters.
+        """
+        if self.pool_config.mode == "process":
+            return self._serve_process(subgraphs)
+        futures = [self.submit(subgraph) for subgraph in subgraphs]
+        for future in futures:
+            future.result()
+        return futures
+
+    def warm_up(self) -> "ServingPool":
+        """Pack all layer weights into the shared segment ahead of traffic."""
+        if self._workers:
+            self._workers[0].engine.warm_up()
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Cross-worker dispatch-table merging
+    # ------------------------------------------------------------------ #
+    def _note_batches(self, executed: int) -> None:
+        interval = self.pool_config.merge_interval
+        if interval is None or executed <= 0:
+            return
+        merge_now = False
+        with self._lock:
+            self._batches_since_merge += executed
+            if self._batches_since_merge >= interval:
+                self._batches_since_merge = 0
+                merge_now = True
+        if merge_now:
+            self.merge_dispatch_tables()
+
+    def merge_dispatch_tables(self) -> dict[str, dict[str, int | None]]:
+        """Exchange measured timings between every shard's dispatch table.
+
+        Each shard saves its table to a spool file and merges every
+        sibling's file back through
+        :func:`~repro.plan.autotune.merge_saved_dispatch_tables` — the
+        same save/load path a restarted single session uses, so identity
+        validation (host fingerprint + registry digest) is identical and
+        a foreign file is skipped, not fatal.  Returns, per worker label,
+        the per-file adopted-sample counts (``None`` = skipped).
+        Idempotent across intervals: already-held samples are not
+        re-adopted.
+        """
+        with self._merge_lock:
+            tables = [
+                (worker, worker.engine.dispatch_table)
+                for worker in self._workers
+                if worker.engine.dispatch_table is not None
+            ]
+            if len(tables) < 2:
+                return {}
+            paths = {
+                worker.index: worker.engine.save_dispatch_table(
+                    self._spool_dir / f"shard-{worker.index}.json"
+                )
+                for worker, _ in tables
+            }
+            outcomes = {}
+            for worker, table in tables:
+                siblings = [
+                    path for index, path in paths.items() if index != worker.index
+                ]
+                outcomes[worker.label] = merge_saved_dispatch_tables(
+                    table, siblings
+                )
+            with self._lock:
+                self._table_merges += 1
+            return outcomes
+
+    def _serve_process(self, subgraphs: Sequence[Subgraph]) -> list[PoolResult]:
+        import multiprocessing
+
+        if self._closed:
+            raise ConfigError("pool is shut down")
+        subgraphs = list(subgraphs)
+        if subgraphs and len(self._calibration) == 0:
+            # Freeze activation calibration *before* forking: one forward
+            # touches every quantize site, and forked children cannot
+            # propagate their freezes back to the parent — without this,
+            # each shard would calibrate from its own first batch and
+            # shard results would not be bit-identical to a single
+            # engine (nor reproducible from ``pool.calibration``).
+            InferenceEngine(
+                self.model, self.config, calibration=self._calibration
+            ).infer_one(subgraphs[0])
+        shards: list[list[Subgraph]] = [
+            [] for _ in range(self.pool_config.workers)
+        ]
+        placement: list[tuple[int, int]] = []
+        for i, subgraph in enumerate(subgraphs):
+            shard = self.shard_of(subgraph, i)
+            placement.append((shard, len(shards[shard])))
+            shards[shard].append(subgraph)
+        jobs = [
+            (
+                index,
+                self.model,
+                self.config,
+                self._calibration._base,
+                members,
+                str(self._spool_dir / f"shard-{index}.json"),
+            )
+            for index, members in enumerate(shards)
+            if members
+        ]
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=max(1, len(jobs))) as process_pool:
+            outputs = process_pool.map(_run_process_shard, jobs)
+        by_shard: dict[int, list[np.ndarray]] = {}
+        self._process_stats = []
+        for index, logits, summary in outputs:
+            by_shard[index] = logits
+            self._process_stats.append(
+                WorkerStats(
+                    label=f"w{index}",
+                    requests=summary["requests"],
+                    batches=summary["batches"],
+                    wall_s=summary["wall_s"],
+                    autotune_samples=summary["autotune_samples"],
+                    plans_adopted=0,
+                    backend_seconds=summary["backend_seconds"],
+                    plan_cache=CacheStats(),
+                    adjacency_cache=CacheStats(),
+                )
+            )
+        results = []
+        for seq, (shard, position) in enumerate(placement):
+            future = PoolResult(seq, f"w{shard}")
+            future._fill(by_shard[shard][position])
+            results.append(future)
+        # Warm-state exchange, persistence-mediated: fold every shard's
+        # saved table into one master and persist it where a restarted
+        # pool (or single session) will load it.
+        if self.config.dispatch_table_path is not None and jobs:
+            master = DispatchTable(
+                min_samples=self.config.table_min_samples,
+                stale_after=self.config.table_stale_after,
+            )
+            merge_saved_dispatch_tables(
+                master, [job[5] for job in jobs]
+            )
+            master.save(self.config.dispatch_table_path)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Telemetry and lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> PoolStats:
+        """Aggregated pool counters plus per-worker snapshots."""
+        per_worker = tuple(
+            worker.snapshot() for worker in self._workers
+        ) or tuple(self._process_stats)
+        backend_seconds: dict[str, float] = {}
+        for worker in per_worker:
+            for backend, seconds in worker.backend_seconds.items():
+                backend_seconds[backend] = (
+                    backend_seconds.get(backend, 0.0) + seconds
+                )
+        return PoolStats(
+            workers=self.pool_config.workers,
+            requests=sum(w.requests for w in per_worker),
+            batches=sum(w.batches for w in per_worker),
+            wall_s=sum(w.wall_s for w in per_worker),
+            table_merges=self._table_merges,
+            plans_published=self.plan_exchange.published,
+            plans_adopted=self.plan_exchange.adopted,
+            backend_seconds=backend_seconds,
+            per_worker=per_worker,
+        )
+
+    def device_report(self) -> EpochReport:
+        """Merged modeled-device report across every shard's session."""
+        report = EpochReport(system="serving-pool", dataset="pool")
+        for worker in self._workers:
+            report.merge(worker.engine.device_report)
+        return report
+
+    @property
+    def workers(self) -> tuple[InferenceEngine, ...]:
+        """The shard workers' engines (telemetry / inspection access)."""
+        return tuple(worker.engine for worker in self._workers)
+
+    @property
+    def calibration(self) -> ActivationCalibration:
+        """The pool-wide shared activation calibration.
+
+        Hand it to a separate :class:`~repro.serving.engine.InferenceEngine`
+        (or another pool) to make its results bit-identical to this
+        pool's for identical requests.
+        """
+        return self._calibration
+
+    def save_dispatch_table(self, path: str | Path | None = None) -> Path:
+        """Merge every shard's measurements and persist the union.
+
+        ``path`` defaults to the config's ``dispatch_table_path``.  After
+        the merge every shard holds the union, so shard 0's table *is*
+        the pool's table.
+        """
+        if not self._workers:
+            raise ConfigError(
+                "no live workers to save from (process mode persists via "
+                "ServingConfig(dispatch_table_path=...) during serve())"
+            )
+        self.merge_dispatch_tables()
+        return self._workers[0].engine.save_dispatch_table(path)
+
+    def shutdown(self) -> None:
+        """Drain queues, stop workers, run the final table merge.
+
+        With ``ServingConfig(dispatch_table_path=...)`` the merged table
+        is persisted there, so a restarted pool — or a plain single
+        session — dispatches from every shard's measurements.  Idempotent.
+        """
+        with self._intake_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for worker in self._workers:
+            worker.queue.put(_SHUTDOWN)
+        for worker in self._workers:
+            worker.thread.join()
+        if self._workers and self._workers[0].engine.dispatch_table is not None:
+            self.merge_dispatch_tables()
+            if self.config.dispatch_table_path is not None:
+                self._workers[0].engine.save_dispatch_table(
+                    self.config.dispatch_table_path
+                )
+        if self._owns_spool:
+            shutil.rmtree(self._spool_dir, ignore_errors=True)
+
+    def __enter__(self) -> "ServingPool":
+        """Context-manager entry; the pool is already serving."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: :meth:`shutdown`."""
+        self.shutdown()

@@ -412,3 +412,135 @@ class TestAutotuner:
         )
         assert returned is mine
         assert mine.sample_count() > 0
+
+
+class TestDispatchTableMerge:
+    """Cross-shard merge semantics (the pool's warm-state exchange)."""
+
+    def _bucket(self):
+        return bucket_for(_spec(m=64, k=128, n=16, bits_a=1, bits_b=4))
+
+    def test_merge_unions_overlapping_buckets(self):
+        bucket = self._bucket()
+        a = DispatchTable(min_samples=2)
+        b = DispatchTable(min_samples=2)
+        a.record(bucket, "packed", 1e-3)
+        a.record(bucket, "packed", 3e-3)
+        b.record(bucket, "packed", 2e-3)
+        b.record(bucket, "blas", 5e-4)
+        adopted = a.merge(b)
+        assert adopted == 2
+        # The overlapping cell pooled both shards' samples.
+        assert a.median(bucket, "packed") == 2e-3
+        # A backend only the other shard measured is now present here.
+        assert "blas" in a.backends(bucket)
+
+    def test_merge_keeps_confidence_monotone(self):
+        # A cell confident before the merge must stay confident after it
+        # (samples are only ever added).
+        bucket = self._bucket()
+        a = DispatchTable(min_samples=2)
+        for s in (1e-3, 2e-3):
+            a.record(bucket, "packed", s)
+        assert a.median(bucket, "packed") is not None
+        b = DispatchTable(min_samples=2)
+        b.record(bucket, "packed", 9e-3)
+        a.merge(b)
+        assert a.median(bucket, "packed") is not None
+        # And an unconfident cell can *become* confident through a merge.
+        c = DispatchTable(min_samples=2)
+        c.record(bucket, "blas", 1e-4)
+        d = DispatchTable(min_samples=2)
+        d.record(bucket, "blas", 3e-4)
+        assert c.median(bucket, "blas") is None
+        c.merge(d)
+        assert c.median(bucket, "blas") is not None
+
+    def test_merge_respects_bounded_rings(self):
+        bucket = self._bucket()
+        a = DispatchTable(max_samples=4)
+        b = DispatchTable(max_samples=4)
+        for i in range(4):
+            a.record(bucket, "packed", 1e-3 + i * 1e-6)
+        for i in range(8):
+            b.record(bucket, "packed", 2e-3 + i * 1e-6)
+        a.merge(b)
+        assert a.sample_count() == 4  # the ring, not the union
+
+    def test_merge_preserves_local_recency(self):
+        # A sibling's backlog may not flush a shard's own recent samples:
+        # adoption into a full ring is capped at half its capacity.
+        bucket = self._bucket()
+        a = DispatchTable(max_samples=4)
+        b = DispatchTable(max_samples=4)
+        local = [1e-3 + i * 1e-6 for i in range(4)]
+        for s in local:
+            a.record(bucket, "packed", s)
+        for i in range(8):
+            b.record(bucket, "packed", 2e-3 + i * 1e-6)
+        assert a.merge(b) == 2  # capped at max_samples // 2
+        held = list(a._entries[bucket]["packed"].samples)
+        assert len(held) == 4
+        assert local[-2:] == held[:2]  # newest local samples survived
+
+    def test_merge_is_idempotent(self):
+        # Re-merging the same shard state (what a pool does every merge
+        # interval) must not slew medians with duplicate samples.
+        bucket = self._bucket()
+        a = DispatchTable()
+        b = DispatchTable()
+        a.record(bucket, "packed", 1e-3)
+        b.record(bucket, "packed", 2e-3)
+        assert a.merge(b) == 1
+        assert a.merge(b) == 0
+        assert a.sample_count() == 2
+
+    def test_merge_with_self_is_a_no_op(self):
+        table = DispatchTable()
+        table.record(self._bucket(), "packed", 1e-3)
+        assert table.merge(table) == 0
+        assert table.sample_count() == 1
+
+    def test_merge_rejects_foreign_identity(self):
+        alien = DispatchTable(host="alien/arch")
+        alien.record(self._bucket(), "packed", 1e-3)
+        with pytest.raises(ConfigError):
+            DispatchTable().merge(alien)
+        other_registry = DispatchTable(registry_id="packed,only")
+        with pytest.raises(ConfigError):
+            DispatchTable().merge(other_registry)
+
+    def test_merge_saved_skips_foreign_files_not_fatal(self, tmp_path):
+        from repro.plan import merge_saved_dispatch_tables
+
+        bucket = self._bucket()
+        good = DispatchTable()
+        good.record(bucket, "packed", 1e-3)
+        good_path = good.save(tmp_path / "shard-0.json")
+        alien = DispatchTable(host="alien/arch")
+        alien.record(bucket, "packed", 9e-3)
+        alien_path = alien.save(tmp_path / "shard-1.json")
+        corrupt_path = tmp_path / "shard-2.json"
+        corrupt_path.write_text("not json {")
+
+        base = DispatchTable()
+        outcomes = merge_saved_dispatch_tables(
+            base, [good_path, alien_path, corrupt_path]
+        )
+        assert outcomes[str(good_path)] == 1
+        assert outcomes[str(alien_path)] is None   # skipped, not raised
+        assert outcomes[str(corrupt_path)] is None
+        assert base.sample_count() == 1  # only the same-identity shard landed
+
+    def test_merged_samples_survive_a_save_load_roundtrip(self, tmp_path):
+        bucket = self._bucket()
+        a = DispatchTable(min_samples=1)
+        b = DispatchTable(min_samples=1)
+        a.record(bucket, "packed", 1e-3)
+        b.record(bucket, "packed", 2e-3)
+        a.merge(b)
+        path = a.save(tmp_path / "merged.json")
+        loaded = DispatchTable.load(path)
+        assert loaded.mismatch is None
+        assert loaded.sample_count() == 2
+        assert loaded.median(bucket, "packed") == a.median(bucket, "packed")

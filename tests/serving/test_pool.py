@@ -1,0 +1,344 @@
+"""Tests for the sharded serving worker pool.
+
+Covers the PR 5 acceptance points: submission-ordered results that are
+bit-identical to a single engine under a shared calibration, structure
+sharding and deadline-aware coalescing, the shared packed-weight
+segment (one pack pool-wide), cross-worker plan broadcast through the
+exchange, dispatch-table merging through the JSON persistence path, and
+the fork-based process escape hatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.gnn import make_batched_gin
+from repro.gnn.quantized import ActivationCalibration
+from repro.graph import CSRGraph, induced_subgraphs
+from repro.graph.batching import Subgraph
+from repro.graph.generators import planted_partition_graph
+from repro.partition import metis_like_partition
+from repro.plan import DispatchTable
+from repro.serving import (
+    InferenceEngine,
+    PlanExchange,
+    PoolConfig,
+    ServingConfig,
+    ServingPool,
+)
+
+
+@pytest.fixture
+def subgraphs(rng):
+    g = planted_partition_graph(
+        192, 1200, num_communities=8, feature_dim=12, num_classes=3, rng=rng
+    )
+    return induced_subgraphs(g, metis_like_partition(g, 8))
+
+
+@pytest.fixture
+def gin_model(subgraphs):
+    g = subgraphs[0].graph
+    return make_batched_gin(g.features.shape[1], 3, hidden_dim=16, seed=3)
+
+
+def make_pool(model, config=None, *, calibration=None, **pool_kwargs):
+    return ServingPool(
+        model,
+        config or ServingConfig(feature_bits=8, batch_size=4),
+        pool=PoolConfig(workers=2, **pool_kwargs),
+        calibration=calibration,
+    )
+
+
+class TestPoolConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"queue_capacity": 0},
+            {"max_delay_s": -1.0},
+            {"merge_interval": 0},
+            {"shard_policy": "random"},
+            {"mode": "fiber"},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ConfigError):
+            PoolConfig(**kwargs)
+
+    def test_exchange_rejects_bad_capacity(self):
+        with pytest.raises(ConfigError):
+            PlanExchange(capacity=0)
+
+    def test_exchange_is_bounded_and_first_publisher_wins(self):
+        exchange = PlanExchange(capacity=2)
+        exchange.publish(("plan", 1), "a")
+        exchange.publish(("plan", 1), "b")  # ignored: first wins
+        assert exchange.get(("plan", 1)) == "a"
+        exchange.publish(("plan", 2), "c")
+        exchange.publish(("plan", 3), "d")  # evicts the oldest
+        assert exchange.get(("plan", 1)) is None
+        assert len(exchange) == 2
+
+
+class TestPoolResults:
+    def test_results_in_submission_order(self, gin_model, subgraphs):
+        with make_pool(gin_model) as pool:
+            results = pool.serve(subgraphs)
+            assert [r.request_id for r in results] == list(range(len(subgraphs)))
+            for sub, res in zip(subgraphs, results):
+                assert res.done()
+                assert res.logits.shape == (sub.num_nodes, 3)
+
+    def test_pool_is_bit_identical_to_single_engine(self, gin_model, subgraphs):
+        # Freeze calibration through a single session, then serve the same
+        # workload through a pool sharing it: every logit matches bit for
+        # bit — sharding and coalescing are throughput decisions only.
+        calibration = ActivationCalibration()
+        engine = InferenceEngine(
+            gin_model,
+            ServingConfig(feature_bits=8, batch_size=4),
+            calibration=calibration,
+        )
+        expected = engine.infer(subgraphs)
+        with make_pool(gin_model, calibration=calibration) as pool:
+            results = pool.serve(subgraphs)
+            for want, got in zip(expected, results):
+                np.testing.assert_array_equal(got.result(), want.logits)
+
+    def test_single_engine_reproduces_a_pool_calibrated_first(
+        self, gin_model, subgraphs
+    ):
+        # The reverse direction: the pool freezes calibration (exactly one
+        # worker calibrates each site, under the lock), and a later single
+        # session sharing pool.calibration reproduces the pool's bits.
+        with make_pool(gin_model) as pool:
+            results = pool.serve(subgraphs)
+            engine = InferenceEngine(
+                gin_model,
+                ServingConfig(feature_bits=8, batch_size=4),
+                calibration=pool.calibration,
+            )
+            expected = engine.infer(subgraphs)
+            for want, got in zip(expected, results):
+                np.testing.assert_array_equal(got.result(), want.logits)
+
+    def test_worker_error_surfaces_on_the_submitter(self, gin_model, subgraphs):
+        featureless = Subgraph(
+            graph=CSRGraph(
+                indptr=subgraphs[0].graph.indptr,
+                indices=subgraphs[0].graph.indices,
+            ),
+            original_nodes=subgraphs[0].original_nodes,
+        )
+        with make_pool(gin_model) as pool:
+            bad = pool.submit(featureless)
+            with pytest.raises(ShapeError):
+                bad.result(timeout=30)
+            # The worker survives the failed round and keeps serving.
+            good = pool.submit(subgraphs[0])
+            assert good.result(timeout=30).shape == (subgraphs[0].num_nodes, 3)
+
+    def test_pending_result_raises_timeout(self, gin_model, subgraphs):
+        with make_pool(gin_model) as pool:
+            result = pool.serve(subgraphs[:1])[0]
+            assert result.logits.shape[0] == subgraphs[0].num_nodes
+            # A never-filled handle times out rather than hanging.
+            fresh = type(result)(99, "w0")
+            with pytest.raises(TimeoutError):
+                fresh.result(timeout=0.01)
+
+
+class TestShardingAndCoalescing:
+    def test_structure_policy_pins_structures_to_shards(self, gin_model, subgraphs):
+        with make_pool(gin_model) as pool:
+            a = pool.serve([subgraphs[0]] * 3)
+            assert len({r.worker for r in a}) == 1  # always the same shard
+            workers = {
+                r.worker for r in pool.serve(subgraphs)
+            }
+            assert len(workers) > 1  # distinct structures spread out
+
+    def test_round_robin_policy_spreads_identical_structures(
+        self, gin_model, subgraphs
+    ):
+        with make_pool(gin_model, shard_policy="round-robin") as pool:
+            results = pool.serve([subgraphs[0]] * 4)
+            assert {r.worker for r in results} == {"w0", "w1"}
+
+    def test_deadline_coalescing_batches_waiting_requests(
+        self, gin_model, subgraphs
+    ):
+        # Four same-structure requests (one shard) submitted with a
+        # generous deadline coalesce into a single executed round.
+        with make_pool(gin_model) as pool:
+            futures = [
+                pool.submit(subgraphs[0], deadline_s=2.0) for _ in range(4)
+            ]
+            for future in futures:
+                future.result(timeout=30)
+            stats = pool.stats()
+            assert stats.requests == 4
+            assert stats.batches == 1
+            assert stats.mean_batch_occupancy == 4.0
+
+    def test_weights_pack_once_pool_wide(self, gin_model, subgraphs):
+        # The shared read-only weight segment: every shard serves traffic,
+        # but each layer is quantized + packed exactly once.
+        with make_pool(gin_model) as pool:
+            pool.serve(subgraphs)
+            pool.serve(subgraphs)
+            weight_stats = pool.workers[0].weight_cache.stats
+            assert weight_stats.misses == gin_model.num_layers
+            assert weight_stats.evictions == 0
+            assert weight_stats.hits > 0
+            stats = pool.stats()
+            assert stats.requests == 2 * len(subgraphs)
+            assert {w.label for w in stats.per_worker} == {"w0", "w1"}
+
+    def test_submit_after_shutdown_raises(self, gin_model, subgraphs):
+        pool = make_pool(gin_model)
+        pool.shutdown()
+        pool.shutdown()  # idempotent
+        with pytest.raises(ConfigError):
+            pool.submit(subgraphs[0])
+
+    def test_shutdown_serves_queued_requests(self, gin_model, subgraphs):
+        pool = make_pool(gin_model)
+        futures = [pool.submit(sub, deadline_s=60.0) for sub in subgraphs]
+        pool.shutdown()  # drains instead of dropping
+        for sub, future in zip(subgraphs, futures):
+            assert future.result(timeout=0).shape == (sub.num_nodes, 3)
+
+
+class TestPlanExchangeWarming:
+    def test_sibling_shards_adopt_broadcast_plans(self, gin_model, subgraphs):
+        # Round-robin sharding sends the same structure to both shards;
+        # serving sequentially guarantees the first compile is published
+        # before the sibling misses, so the sibling adopts instead of
+        # compiling (no second dispatcher pricing pass).
+        with make_pool(gin_model, shard_policy="round-robin") as pool:
+            pool.serve([subgraphs[0]])   # w0 compiles + broadcasts
+            pool.serve([subgraphs[0]])   # w1 misses locally, adopts
+            stats = pool.stats()
+            assert stats.plans_published >= 1
+            assert stats.plans_adopted >= 1
+            adopters = [w for w in stats.per_worker if w.plans_adopted]
+            assert adopters, "no worker adopted a broadcast plan"
+
+    def test_adopted_plans_execute_bit_identically(self, gin_model, subgraphs):
+        calibration = ActivationCalibration()
+        engine = InferenceEngine(
+            gin_model,
+            ServingConfig(feature_bits=8, batch_size=1),
+            calibration=calibration,
+        )
+        expected = engine.infer([subgraphs[0]])[0]
+        with make_pool(gin_model, calibration=calibration,
+                       shard_policy="round-robin") as pool:
+            first = pool.serve([subgraphs[0]])[0]
+            second = pool.serve([subgraphs[0]])[0]  # adopted on the sibling
+            assert first.worker != second.worker
+            np.testing.assert_array_equal(first.logits, expected.logits)
+            np.testing.assert_array_equal(second.logits, expected.logits)
+
+
+class TestDispatchTableMerging:
+    def test_interval_merge_unions_shard_tables(self, gin_model, subgraphs):
+        with make_pool(gin_model, merge_interval=1) as pool:
+            pool.serve(subgraphs)
+            stats = pool.stats()
+            assert stats.table_merges >= 1
+            outcomes = pool.merge_dispatch_tables()
+            assert set(outcomes) == {"w0", "w1"}
+            counts = {
+                engine.dispatch_table.sample_count()
+                for engine in pool.workers
+            }
+            assert len(counts) == 1  # every shard holds the union
+
+    def test_shutdown_persists_the_merged_table(
+        self, gin_model, subgraphs, tmp_path
+    ):
+        path = tmp_path / "pool-table.json"
+        config = ServingConfig(
+            feature_bits=8, batch_size=4, dispatch_table_path=str(path)
+        )
+        pool = ServingPool(
+            gin_model, config, pool=PoolConfig(workers=2, merge_interval=None)
+        )
+        pool.serve(subgraphs)
+        per_shard = [e.dispatch_table.sample_count() for e in pool.workers]
+        pool.shutdown()
+        assert path.exists()
+        loaded = DispatchTable.load(path)
+        assert loaded.mismatch is None
+        # The persisted table is the union of what the shards measured
+        # (>= any one shard; dedup makes exact equality uninteresting).
+        assert loaded.sample_count() >= max(per_shard)
+        # A restarted single session warm-starts from the pool's table.
+        engine = InferenceEngine(gin_model, config)
+        assert engine.dispatch_table.sample_count() == loaded.sample_count()
+
+
+class TestProcessEscapeHatch:
+    def test_submit_requires_thread_mode(self, gin_model, subgraphs):
+        pool = make_pool(gin_model, mode="process")
+        with pytest.raises(ConfigError):
+            pool.submit(subgraphs[0])
+        pool.shutdown()
+
+    def test_process_pool_freezes_calibration_before_forking(
+        self, gin_model, subgraphs
+    ):
+        # With no pre-frozen calibration, the parent freezes every site
+        # before forking, so the shards share one parameter set and a
+        # later engine sharing pool.calibration reproduces the bits.
+        pool = ServingPool(
+            gin_model,
+            ServingConfig(feature_bits=8, batch_size=4),
+            pool=PoolConfig(workers=2, mode="process"),
+        )
+        results = pool.serve(subgraphs)
+        assert len(pool.calibration) > 0  # freezes visible in the parent
+        engine = InferenceEngine(
+            gin_model,
+            ServingConfig(feature_bits=8, batch_size=4),
+            calibration=pool.calibration,
+        )
+        for want, got in zip(engine.infer(subgraphs), results):
+            np.testing.assert_array_equal(got.logits, want.logits)
+        pool.shutdown()
+
+    def test_process_serve_matches_single_engine(
+        self, gin_model, subgraphs, tmp_path
+    ):
+        calibration = ActivationCalibration()
+        engine = InferenceEngine(
+            gin_model,
+            ServingConfig(feature_bits=8, batch_size=4),
+            calibration=calibration,
+        )
+        expected = engine.infer(subgraphs)
+        path = tmp_path / "table.json"
+        config = ServingConfig(
+            feature_bits=8, batch_size=4, dispatch_table_path=str(path)
+        )
+        pool = ServingPool(
+            gin_model,
+            config,
+            pool=PoolConfig(workers=2, mode="process"),
+            calibration=calibration,
+        )
+        results = pool.serve(subgraphs)
+        for want, got in zip(expected, results):
+            np.testing.assert_array_equal(got.logits, want.logits)
+        stats = pool.stats()
+        assert stats.requests == len(subgraphs)
+        # The shards' measurements were merged through the JSON path.
+        assert path.exists()
+        assert DispatchTable.load(path).sample_count() > 0
+        pool.shutdown()
