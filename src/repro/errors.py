@@ -47,3 +47,14 @@ class PartitionError(QGTCError, ValueError):
 
 class ConfigError(QGTCError, ValueError):
     """A model / runtime configuration object failed validation."""
+
+
+class PoolSaturated(QGTCError, RuntimeError):
+    """The serving layer refused a request because capacity is exhausted.
+
+    Raised by non-blocking pool intake when a shard queue is full and by
+    the async gateway when a request cannot be admitted within its queue
+    timeout — the fast-fail alternative to blocking an open-loop caller
+    behind an unbounded backlog.  Catch it to shed load (retry later,
+    degrade, or route elsewhere); it signals pressure, not a bug.
+    """

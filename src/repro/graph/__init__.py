@@ -7,6 +7,7 @@ from .batching import (
     batch_subgraphs,
     batch_subgraphs_by_nodes,
     induced_subgraphs,
+    round_deadline,
     round_full,
 )
 from .csr import CSRGraph
@@ -28,5 +29,6 @@ __all__ = [
     "load_dataset",
     "planted_partition_graph",
     "random_graph",
+    "round_deadline",
     "round_full",
 ]

@@ -22,12 +22,16 @@ measurements immediately.
 Scale-out lives here too: a :class:`~repro.serving.pool.ServingPool`
 shards the request stream across N workers — each owning a shard-local
 plan cache over a shared read-only packed-weight segment, draining a
-bounded queue with deadline-aware coalescing — and keeps the shards
-mutually warm (compiled-plan broadcast via
+bounded queue with continuous deadline-aware coalescing — and keeps the
+shards mutually warm (compiled-plan broadcast via
 :class:`~repro.serving.pool.PlanExchange`, dispatch-table merging
-through the JSON persistence path).  Everything above this layer speaks
-``Subgraph in, logits out``, and everything below it is described by
-plan nodes.
+through the JSON persistence path).  Fronting the pool, a
+:class:`~repro.serving.gateway.ServingGateway` is the asyncio door
+open-loop traffic comes through: bounded-in-flight admission with
+fast-fail backpressure (:class:`~repro.errors.PoolSaturated`), priority
+lanes, queue-depth-aware shard routing, and optional request hedging
+for p99 control.  Everything above this layer speaks ``Subgraph in,
+logits out``, and everything below it is described by plan nodes.
 """
 
 from .cache import (
@@ -39,6 +43,15 @@ from .cache import (
     WeightCacheKey,
 )
 from .dispatch import CostModelDispatcher, DispatchDecision
+from .gateway import (
+    LANES,
+    GatewayConfig,
+    GatewayResult,
+    GatewayStats,
+    LaneStats,
+    ServingGateway,
+    route_shard,
+)
 from .engine import (
     InferenceEngine,
     InferenceRequest,
@@ -61,18 +74,25 @@ __all__ = [
     "CostModelDispatcher",
     "DispatchDecision",
     "ForwardPlanCacheKey",
+    "GatewayConfig",
+    "GatewayResult",
+    "GatewayStats",
     "InferenceEngine",
     "InferenceRequest",
     "InferenceResult",
+    "LANES",
     "LRUCache",
+    "LaneStats",
     "PlanCache",
     "PlanExchange",
     "PoolConfig",
     "PoolResult",
     "PoolStats",
     "ServingConfig",
+    "ServingGateway",
     "ServingPool",
     "SessionStats",
     "WeightCacheKey",
     "WorkerStats",
+    "route_shard",
 ]

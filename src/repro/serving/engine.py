@@ -245,6 +245,13 @@ class SessionStats:
     tiles_skipped: int = 0
     #: Measured host seconds spent inside batch execution.
     wall_s: float = 0.0
+    #: Measured seconds of the most recently executed rounds (bounded
+    #: ring) — the per-round service-time distribution that SLO-aware
+    #: layers above (pool deadlines, gateway admission) are tuned
+    #: against; see :attr:`round_seconds_p50` / :attr:`round_seconds_p99`.
+    recent_round_seconds: deque = field(
+        default_factory=lambda: deque(maxlen=256)
+    )
     #: Executed-GEMM timing samples fed back into the dispatch table
     #: (0 when dispatch is not cost-model or feedback is disabled).
     autotune_samples: int = 0
@@ -280,6 +287,25 @@ class SessionStats:
         if not self.tiles_total:
             return 0.0
         return self.tiles_skipped / self.tiles_total
+
+    def round_seconds_quantile(self, q: float) -> float:
+        """A quantile of the recent per-round execution-seconds ring
+        (0.0 before any round has executed)."""
+        if not self.recent_round_seconds:
+            return 0.0
+        return float(
+            np.quantile(np.fromiter(self.recent_round_seconds, dtype=float), q)
+        )
+
+    @property
+    def round_seconds_p50(self) -> float:
+        """Median seconds of recent executed rounds."""
+        return self.round_seconds_quantile(0.5)
+
+    @property
+    def round_seconds_p99(self) -> float:
+        """99th-percentile seconds of recent executed rounds."""
+        return self.round_seconds_quantile(0.99)
 
 
 class InferenceEngine:
@@ -707,7 +733,9 @@ class InferenceEngine:
             kernel_config=self.config.kernel,
             apply_softmax=self.config.apply_softmax,
         )
-        self.stats.wall_s += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.stats.wall_s += elapsed
+        self.stats.recent_round_seconds.append(elapsed)
         for backend, seconds in step_time_attribution(forward.timings).items():
             self.stats.backend_seconds[backend] = (
                 self.stats.backend_seconds.get(backend, 0.0) + seconds

@@ -1,0 +1,573 @@
+"""Async serving gateway: SLO-aware admission over a :class:`ServingPool`.
+
+The pool's front door is a blocking ``submit()``: production traffic is
+open-loop (arrivals do not wait for completions), bursty, and SLO-bound,
+and an intake that *blocks* under pressure converts overload into
+unbounded queueing — every request "succeeds" with a latency nobody can
+use.  A :class:`ServingGateway` is the asyncio front-end that turns the
+pool into something an open-loop client can face:
+
+* **admission control + backpressure** — at most ``max_in_flight``
+  requests are past the gate at once; a request that cannot be admitted
+  within ``queue_timeout_s`` fast-fails with
+  :class:`~repro.errors.PoolSaturated` instead of joining an unbounded
+  backlog.  Under overload the gateway sheds the excess and keeps the
+  latency of everything it *does* serve bounded — the p99 story the
+  latency benchmark pins.
+* **priority lanes** — ``lane="interactive"`` may use every slot;
+  ``lane="batch"`` is capped at ``max_in_flight - interactive_reserve``
+  and freed slots wake interactive waiters first, so background traffic
+  can never starve the latency-sensitive lane.
+* **queue-depth-aware routing** — each request's home shard is the
+  pool's shard policy (structure digest: shard caches stay disjoint).
+  When the home shard's queue runs ``imbalance_threshold`` deeper than
+  the shallowest shard, the request is re-routed to the least-loaded
+  shard (:func:`route_shard`).  Entries are content-keyed, so a foreign
+  shard simply re-builds the artifacts — skew is traded for a one-time
+  compile, never for correctness.
+* **request hedging** — with ``hedge_after_s`` set, a request still
+  unfinished after that long is duplicated onto the least-loaded other
+  shard and the first completion wins.  The duplicate's work is wasted
+  by design (the p99-vs-throughput trade); results are bit-identical
+  either way, so hedging is purely a latency decision.
+
+Every decision above chooses *where* and *when* a request executes,
+never *what* it computes: under a shared frozen
+:class:`~repro.gnn.quantized.ActivationCalibration`, gateway results are
+bit-identical to a single :class:`~repro.serving.engine.InferenceEngine`
+serving the same requests — admission, lanes, re-routing and hedging are
+latency decisions, never accuracy decisions.
+
+Typical use::
+
+    pool = ServingPool(model, ServingConfig(feature_bits=8))
+    gateway = ServingGateway(pool, GatewayConfig(max_in_flight=64))
+
+    async def handle(subgraph):
+        try:
+            reply = await gateway.submit(subgraph, lane="interactive")
+        except PoolSaturated:
+            return retry_later()      # shed load, don't queue it
+        return reply.logits
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError, PoolSaturated
+from ..graph.batching import Subgraph
+from .pool import PoolResult, ServingPool
+
+__all__ = [
+    "LANES",
+    "GatewayConfig",
+    "GatewayResult",
+    "GatewayStats",
+    "LaneStats",
+    "ServingGateway",
+    "route_shard",
+]
+
+#: The priority lanes a request may be submitted on, highest first.
+LANES = ("interactive", "batch")
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """SLO knobs of a :class:`ServingGateway`.
+
+    Example::
+
+        gateway = ServingGateway(
+            pool,
+            GatewayConfig(max_in_flight=64, queue_timeout_s=0.05,
+                          hedge_after_s=0.02),
+        )
+    """
+
+    #: Admission budget: requests past the gate (queued on shards or
+    #: executing) at any moment, across both lanes.  The latency lever —
+    #: a served request waits behind at most this many others.
+    max_in_flight: int = 64
+    #: Slots the batch lane may never occupy, reserved so interactive
+    #: traffic always finds headroom (batch cap =
+    #: ``max_in_flight - interactive_reserve``).  ``None`` reserves an
+    #: eighth of the budget (so every ``max_in_flight`` works out of the
+    #: box); ``0`` disables the reserve.
+    interactive_reserve: int | None = None
+    #: How long a request may wait for an admission slot before
+    #: fast-failing with :class:`~repro.errors.PoolSaturated` — the
+    #: backpressure bound an open-loop client sees instead of queueing.
+    queue_timeout_s: float = 0.25
+    #: Per-lane coalescing deadline handed to the pool
+    #: (``submit(deadline_s=...)``); ``None`` uses the pool's
+    #: ``max_delay_s``.  Interactive typically trades occupancy for
+    #: latency (small), batch the reverse (large).
+    interactive_deadline_s: float | None = None
+    batch_deadline_s: float | None = None
+    #: Duplicate a still-unfinished request onto the least-loaded other
+    #: shard after this long; first completion wins.  ``None`` disables
+    #: hedging (and pools with a single worker never hedge).
+    hedge_after_s: float | None = None
+    #: Re-route a request off its home shard when the home queue is more
+    #: than this many requests deeper than the shallowest shard's;
+    #: ``None`` pins every request to its home shard.
+    imbalance_threshold: int | None = 8
+
+    def __post_init__(self) -> None:
+        """Validate every knob (fail construction, not the first request)."""
+        if self.max_in_flight < 1:
+            raise ConfigError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}"
+            )
+        if self.interactive_reserve is not None and not (
+            0 <= self.interactive_reserve < self.max_in_flight
+        ):
+            raise ConfigError(
+                "interactive_reserve must be in [0, max_in_flight) or None, "
+                f"got {self.interactive_reserve} with max_in_flight="
+                f"{self.max_in_flight}"
+            )
+        if not math.isfinite(self.queue_timeout_s) or self.queue_timeout_s < 0:
+            raise ConfigError(
+                f"queue_timeout_s must be finite and >= 0, got "
+                f"{self.queue_timeout_s}"
+            )
+        for name in ("interactive_deadline_s", "batch_deadline_s",
+                     "hedge_after_s"):
+            value = getattr(self, name)
+            if value is not None and (not math.isfinite(value) or value < 0):
+                raise ConfigError(
+                    f"{name} must be finite and >= 0 or None, got {value}"
+                )
+        if self.imbalance_threshold is not None and self.imbalance_threshold < 1:
+            raise ConfigError(
+                "imbalance_threshold must be >= 1 or None, got "
+                f"{self.imbalance_threshold}"
+            )
+
+    @property
+    def effective_interactive_reserve(self) -> int:
+        """The reserve in force (explicit, or an eighth of the budget)."""
+        if self.interactive_reserve is not None:
+            return self.interactive_reserve
+        return self.max_in_flight // 8
+
+    def lane_deadline(self, lane: str) -> float | None:
+        """The coalescing deadline configured for ``lane`` (``None`` =
+        pool default)."""
+        if lane == "interactive":
+            return self.interactive_deadline_s
+        return self.batch_deadline_s
+
+
+def route_shard(
+    home: int, depths: Sequence[int], threshold: int | None
+) -> int:
+    """The queue-depth-aware routing rule, as a pure function.
+
+    Returns ``home`` unless its queue is more than ``threshold`` requests
+    deeper than the shallowest shard's, in which case the least-loaded
+    shard (lowest depth, ties to the lowest index) takes the request.
+    ``threshold=None`` disables re-routing.  Pure so the policy is
+    testable without standing up congestion; the gateway feeds it live
+    ``ServingPool.queue_depths()``.
+    """
+    if threshold is None or len(depths) < 2:
+        return home
+    least = min(range(len(depths)), key=lambda i: (depths[i], i))
+    if depths[home] - depths[least] > threshold:
+        return least
+    return home
+
+
+@dataclass(frozen=True)
+class GatewayResult:
+    """One admitted request's logits plus the path it took."""
+
+    request_id: int
+    #: ``(nodes, classes)`` float logits for this request's subgraph.
+    logits: np.ndarray
+    #: Label of the shard worker that produced the winning result.
+    worker: str
+    lane: str
+    #: Submit-to-completion seconds, including admission wait.
+    latency_s: float
+    #: Whether the depth router sent this request off its home shard.
+    rerouted: bool = False
+    #: Whether a hedge duplicate was launched for this request.
+    hedged: bool = False
+    #: Whether the hedge duplicate finished first (implies ``hedged``).
+    hedge_won: bool = False
+
+
+@dataclass(frozen=True)
+class LaneStats:
+    """Snapshot of one priority lane's counters and latency quantiles."""
+
+    submitted: int
+    completed: int
+    #: Fast-failed with :class:`~repro.errors.PoolSaturated` (admission
+    #: timeout or a full shard queue).
+    rejected: int
+    #: Latency quantiles over the lane's recent completions (seconds;
+    #: 0.0 before any completion).
+    latency_p50_s: float
+    latency_p99_s: float
+
+
+@dataclass(frozen=True)
+class GatewayStats:
+    """Aggregated snapshot of a gateway's admission and routing counters."""
+
+    submitted: int
+    completed: int
+    rejected: int
+    #: Requests the depth router moved off their home shard.
+    rerouted: int
+    hedges_launched: int
+    hedges_won: int
+    #: Requests currently past the admission gate.
+    in_flight: int
+    per_lane: dict[str, LaneStats] = field(default_factory=dict)
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of submitted requests shed (0.0 before any traffic)."""
+        if not self.submitted:
+            return 0.0
+        return self.rejected / self.submitted
+
+
+@dataclass
+class _LaneState:
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    #: Admission waiters, FIFO within the lane.
+    waiters: deque = field(default_factory=deque)
+    #: Recent completion latencies (bounded ring).
+    latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
+
+    def latency_quantile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        return float(np.quantile(np.fromiter(self.latencies, dtype=float), q))
+
+
+def _swallow(fut: asyncio.Future) -> None:
+    # Retrieve a losing hedge leg's exception so the loop never logs
+    # "exception was never retrieved" for work we deliberately abandoned.
+    if not fut.cancelled():
+        fut.exception()
+
+
+class ServingGateway:
+    """Asyncio front-end over one :class:`ServingPool`; see module doc.
+
+    The gateway owns no threads and no shards — only the admission gate,
+    the router and the hedger.  It composes over an existing (thread
+    mode) pool, whose lifecycle stays with the caller::
+
+        with ServingPool(model, config) as pool:
+            gateway = ServingGateway(pool, GatewayConfig(max_in_flight=32))
+            results = gateway.run(subgraphs)          # sync convenience
+            # or, inside a coroutine:
+            reply = await gateway.submit(subgraph, lane="interactive")
+
+    Admission state is event-loop-confined (no locks): drive one gateway
+    from one running loop at a time.
+    """
+
+    def __init__(
+        self, pool: ServingPool, config: GatewayConfig | None = None
+    ) -> None:
+        """Wrap ``pool`` (thread mode) with admission policy ``config``."""
+        if pool.pool_config.mode != "thread":
+            raise ConfigError(
+                "a gateway needs a thread-mode pool (async intake rides "
+                "submit(), which process pools do not offer)"
+            )
+        self.pool = pool
+        self.config = config or GatewayConfig()
+        self._in_flight = 0
+        self._lanes = {lane: _LaneState() for lane in LANES}
+        self._rerouted = 0
+        self._hedges_launched = 0
+        self._hedges_won = 0
+        self._seq = 0
+
+    # ------------------------------------------------------------------ #
+    # Admission gate
+    # ------------------------------------------------------------------ #
+    @property
+    def in_flight(self) -> int:
+        """Requests currently past the admission gate."""
+        return self._in_flight
+
+    def _capacity(self, lane: str) -> int:
+        if lane == "interactive":
+            return self.config.max_in_flight
+        return (
+            self.config.max_in_flight
+            - self.config.effective_interactive_reserve
+        )
+
+    async def _acquire(self, lane: str) -> None:
+        """Take one admission slot, waiting at most ``queue_timeout_s``;
+        raises :class:`~repro.errors.PoolSaturated` on timeout."""
+        waiters = self._lanes[lane].waiters
+        if not waiters and self._in_flight < self._capacity(lane):
+            self._in_flight += 1
+            return
+        fut = asyncio.get_running_loop().create_future()
+        waiters.append(fut)
+        try:
+            await asyncio.wait_for(fut, timeout=self.config.queue_timeout_s)
+        except asyncio.TimeoutError:
+            if fut.done() and not fut.cancelled():
+                # Granted in the same tick the timeout fired: the slot is
+                # ours but the wait already failed — hand it back.
+                self._release()
+            else:
+                try:
+                    waiters.remove(fut)
+                except ValueError:
+                    pass
+            raise PoolSaturated(
+                f"not admitted within {self.config.queue_timeout_s}s "
+                f"({self._in_flight}/{self.config.max_in_flight} in flight)"
+            ) from None
+
+    def _release(self) -> None:
+        self._in_flight -= 1
+        self._wake()
+
+    def _wake(self) -> None:
+        """Grant freed capacity to waiters — interactive lane first."""
+        while True:
+            granted = False
+            for lane in LANES:
+                waiters = self._lanes[lane].waiters
+                while waiters and waiters[0].done():
+                    waiters.popleft()  # timed out / cancelled meanwhile
+                if waiters and self._in_flight < self._capacity(lane):
+                    self._in_flight += 1
+                    waiters.popleft().set_result(None)
+                    granted = True
+                    break
+            if not granted:
+                return
+
+    # ------------------------------------------------------------------ #
+    # The thread → event-loop bridge
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _bridge(pool_result: PoolResult) -> asyncio.Future:
+        """An awaitable view of a :class:`PoolResult`: resolves to the
+        settled handle, or raises its worker-side error."""
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+
+        def resolve(settled: PoolResult) -> None:
+            if fut.done():  # cancelled by the caller meanwhile
+                return
+            error = settled.exception()
+            if error is not None:
+                fut.set_exception(error)
+            else:
+                fut.set_result(settled)
+
+        def on_done(settled: PoolResult) -> None:
+            try:
+                loop.call_soon_threadsafe(resolve, settled)
+            except RuntimeError:
+                pass  # loop already closed: nobody is waiting
+
+        pool_result.add_done_callback(on_done)
+        return fut
+
+    # ------------------------------------------------------------------ #
+    # Intake
+    # ------------------------------------------------------------------ #
+    async def submit(
+        self,
+        subgraph: Subgraph,
+        *,
+        lane: str = "interactive",
+        deadline_s: float | None = None,
+    ) -> GatewayResult:
+        """Admit, route, execute and await one request on ``lane``.
+
+        ``deadline_s`` overrides the lane's coalescing deadline.  Raises
+        :class:`~repro.errors.PoolSaturated` when the request cannot be
+        admitted within ``queue_timeout_s`` (or its shard queue is full)
+        — fast-fail backpressure, the caller's cue to shed load.
+        """
+        if lane not in LANES:
+            raise ConfigError(f"lane must be one of {LANES}, got {lane!r}")
+        if deadline_s is not None and (
+            not math.isfinite(deadline_s) or deadline_s < 0
+        ):
+            raise ConfigError(
+                f"deadline_s must be finite and >= 0, got {deadline_s!r}"
+            )
+        state = self._lanes[lane]
+        state.submitted += 1
+        start = time.monotonic()
+        try:
+            await self._acquire(lane)
+            try:
+                settled, rerouted, hedged, hedge_won = await self._dispatch(
+                    subgraph, lane, deadline_s
+                )
+            finally:
+                self._release()
+        except PoolSaturated:
+            state.rejected += 1
+            raise
+        latency = time.monotonic() - start
+        state.completed += 1
+        state.latencies.append(latency)
+        return GatewayResult(
+            request_id=settled.request_id,
+            logits=settled.logits,
+            worker=settled.worker,
+            lane=lane,
+            latency_s=latency,
+            rerouted=rerouted,
+            hedged=hedged,
+            hedge_won=hedge_won,
+        )
+
+    async def _dispatch(
+        self, subgraph: Subgraph, lane: str, deadline_s: float | None
+    ) -> tuple[PoolResult, bool, bool, bool]:
+        """Route one admitted request, hedging if configured; returns
+        ``(settled result, rerouted, hedged, hedge_won)``."""
+        pool = self.pool
+        seq = self._seq
+        self._seq += 1
+        home = pool.shard_of(subgraph, seq)
+        shard = route_shard(
+            home, pool.queue_depths(), self.config.imbalance_threshold
+        )
+        rerouted = shard != home
+        if rerouted:
+            self._rerouted += 1
+        delay = (
+            deadline_s if deadline_s is not None
+            else self.config.lane_deadline(lane)
+        )
+        primary = self._bridge(
+            pool.submit(subgraph, deadline_s=delay, shard=shard, block=False)
+        )
+        hedge_after = self.config.hedge_after_s
+        if hedge_after is None or pool.pool_config.workers < 2:
+            return await primary, rerouted, False, False
+        try:
+            settled = await asyncio.wait_for(
+                asyncio.shield(primary), timeout=hedge_after
+            )
+            return settled, rerouted, False, False
+        except asyncio.TimeoutError:
+            pass
+        # The primary is slow: duplicate onto the least-loaded other
+        # shard and take the first completion.  A full hedge queue (or a
+        # pool mid-shutdown) simply falls back to the primary — hedging
+        # is opportunistic, never another failure mode.
+        depths = pool.queue_depths()
+        alternates = [i for i in range(pool.pool_config.workers) if i != shard]
+        alternate = min(alternates, key=lambda i: (depths[i], i))
+        try:
+            hedged_submit = pool.submit(
+                subgraph, deadline_s=0.0, shard=alternate, block=False
+            )
+        except (PoolSaturated, ConfigError):
+            return await primary, rerouted, False, False
+        self._hedges_launched += 1
+        hedge = self._bridge(hedged_submit)
+        legs = {primary, hedge}
+        winner: asyncio.Future | None = None
+        while legs and winner is None:
+            done, legs = await asyncio.wait(
+                legs, return_when=asyncio.FIRST_COMPLETED
+            )
+            for fut in done:
+                if fut.exception() is None:
+                    winner = fut
+                    break
+        for loser in legs:
+            loser.add_done_callback(_swallow)
+        if winner is None:
+            # Both legs failed; surface the primary's error.
+            return await primary, rerouted, True, False
+        hedge_won = winner is hedge
+        if hedge_won:
+            self._hedges_won += 1
+        return winner.result(), rerouted, True, hedge_won
+
+    async def serve(
+        self,
+        subgraphs: Sequence[Subgraph],
+        *,
+        lane: str = "interactive",
+        return_exceptions: bool = False,
+    ) -> list:
+        """Submit a whole workload concurrently; results in input order.
+
+        With ``return_exceptions=True``, shed requests appear as
+        :class:`~repro.errors.PoolSaturated` instances in the returned
+        list instead of aborting the gather — open-loop semantics.
+        """
+        tasks = [
+            asyncio.ensure_future(self.submit(subgraph, lane=lane))
+            for subgraph in subgraphs
+        ]
+        return await asyncio.gather(*tasks, return_exceptions=return_exceptions)
+
+    def run(
+        self,
+        subgraphs: Sequence[Subgraph],
+        *,
+        lane: str = "interactive",
+        return_exceptions: bool = False,
+    ) -> list:
+        """Synchronous convenience: :meth:`serve` under ``asyncio.run``."""
+        return asyncio.run(
+            self.serve(subgraphs, lane=lane, return_exceptions=return_exceptions)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+    def stats(self) -> GatewayStats:
+        """Snapshot of admission, routing and hedging counters."""
+        per_lane = {
+            lane: LaneStats(
+                submitted=state.submitted,
+                completed=state.completed,
+                rejected=state.rejected,
+                latency_p50_s=state.latency_quantile(0.5),
+                latency_p99_s=state.latency_quantile(0.99),
+            )
+            for lane, state in self._lanes.items()
+        }
+        return GatewayStats(
+            submitted=sum(s.submitted for s in per_lane.values()),
+            completed=sum(s.completed for s in per_lane.values()),
+            rejected=sum(s.rejected for s in per_lane.values()),
+            rerouted=self._rerouted,
+            hedges_launched=self._hedges_launched,
+            hedges_won=self._hedges_won,
+            in_flight=self._in_flight,
+            per_lane=per_lane,
+        )

@@ -39,6 +39,14 @@ that is identical everywhere.  A :class:`ServingPool` is that system:
   ``merge_interval`` executed batches and at shutdown — so a backend
   timing measured by one worker prices dispatch on all of them, and a
   foreign or corrupt shard file is skipped, never fatal;
+* **async front door** — intake is gateway-ready: ``submit`` validates
+  deadlines, takes an explicit ``shard=`` override (the router/hedging
+  hook) and offers ``block=False`` fast-fail intake
+  (:class:`~repro.errors.PoolSaturated`), ``queue_depths`` exposes
+  per-shard pressure, and :class:`PoolResult.add_done_callback` bridges
+  completions into an event loop — the contract
+  :class:`~repro.serving.gateway.ServingGateway` builds SLO-aware
+  admission, priority lanes and hedging on;
 * **process-pool escape hatch** — ``PoolConfig(mode="process")`` runs
   :meth:`ServingPool.serve` across fork-spawned worker processes (one
   engine per process, warm state exchanged only through the
@@ -53,6 +61,7 @@ decisions.
 from __future__ import annotations
 
 import hashlib
+import math
 import queue
 import shutil
 import tempfile
@@ -65,10 +74,10 @@ from typing import Sequence
 
 import numpy as np
 
-from ..errors import ConfigError
+from ..errors import ConfigError, PoolSaturated
 from ..gnn.models import GNNModel
 from ..gnn.quantized import ActivationCalibration
-from ..graph.batching import Subgraph, round_full
+from ..graph.batching import Subgraph, round_deadline, round_full
 from ..plan.autotune import DispatchTable, merge_saved_dispatch_tables
 from ..plan.cache import CacheStats, ThreadSafeLRUCache, artifact_nbytes
 from ..runtime.report import EpochReport
@@ -246,7 +255,10 @@ class PoolResult:
     failure re-raises here, on the submitter.
     """
 
-    __slots__ = ("request_id", "worker", "_event", "_logits", "_error")
+    __slots__ = (
+        "request_id", "worker", "_event", "_logits", "_error",
+        "_lock", "_callbacks",
+    )
 
     def __init__(self, request_id: int, worker: str) -> None:
         """Create a pending handle (filled in by the owning worker)."""
@@ -256,10 +268,33 @@ class PoolResult:
         self._event = threading.Event()
         self._logits: np.ndarray | None = None
         self._error: BaseException | None = None
+        self._lock = threading.Lock()
+        self._callbacks: list = []
 
     def done(self) -> bool:
         """Whether the request has been executed (or failed)."""
         return self._event.is_set()
+
+    def exception(self) -> BaseException | None:
+        """The worker-side error of a completed request (``None`` while
+        pending or after success) — inspect without re-raising."""
+        return self._error if self._event.is_set() else None
+
+    def add_done_callback(self, fn) -> None:
+        """Call ``fn(self)`` once the request completes (or failed).
+
+        Runs on the worker thread that settles the request — or
+        immediately, on the caller, when the request is already done.
+        This is the thread→event-loop bridge the async gateway rides:
+        the callback hands the settled result to
+        ``loop.call_soon_threadsafe`` instead of parking a thread in
+        :meth:`result`.  Callbacks must not raise.
+        """
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
 
     def result(self, timeout: float | None = None) -> np.ndarray:
         """Block for and return this request's ``(nodes, classes)`` logits."""
@@ -278,11 +313,21 @@ class PoolResult:
 
     def _fill(self, logits: np.ndarray) -> None:
         self._logits = logits
-        self._event.set()
+        self._settle()
 
     def _fail(self, error: BaseException) -> None:
         self._error = error
-        self._event.set()
+        self._settle()
+
+    def _settle(self) -> None:
+        # Set the event and drain callbacks atomically with respect to
+        # add_done_callback, so a callback registered concurrently with
+        # completion runs exactly once (here, or immediately there).
+        with self._lock:
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
 
 
 @dataclass(frozen=True)
@@ -374,9 +419,13 @@ class _Worker:
             group = [item]
             nodes = item.subgraph.num_nodes
             deadline = item.deadline
-            # Deadline-aware coalescing: wait for batch-mates until the
-            # round fills or the earliest-arrived request's deadline
-            # expires — bounded added latency, maximal occupancy within it.
+            # Continuous batching: stragglers keep being admitted into the
+            # forming round until the round fills or its deadline expires.
+            # The round's deadline is the *earliest* admitted member's
+            # (``round_deadline``) — a straggler that promised less
+            # waiting pulls execution earlier, never the reverse — and an
+            # already-expired deadline (``submit(deadline_s=0)``) skips
+            # the wait loop entirely: the latency fast path.
             while True:
                 timeout = deadline - time.monotonic()
                 if timeout <= 0:
@@ -402,6 +451,7 @@ class _Worker:
                 else:
                     group.append(nxt)
                     nodes += nxt.subgraph.num_nodes
+                    deadline = round_deadline(deadline, nxt.deadline)
             self._execute(group)
         # Shutdown: serve whatever is still queued, without waiting.
         leftovers: list[_QueuedRequest] = []
@@ -571,41 +621,82 @@ class ServingPool:
     # Intake
     # ------------------------------------------------------------------ #
     def submit(
-        self, subgraph: Subgraph, *, deadline_s: float | None = None
+        self,
+        subgraph: Subgraph,
+        *,
+        deadline_s: float | None = None,
+        shard: int | None = None,
+        block: bool = True,
     ) -> PoolResult:
         """Queue one subgraph on its shard; returns a :class:`PoolResult`.
 
         ``deadline_s`` bounds how long the request may wait for
-        batch-mates (default: the pool's ``max_delay_s``).  Blocks when
-        the shard's queue is full (bounded-queue backpressure).
+        batch-mates (default: the pool's ``max_delay_s``; must be finite
+        and >= 0 — ``0`` is the no-coalescing latency fast path).
+        ``shard`` overrides the shard policy with an explicit worker
+        index — the hook the gateway's queue-depth router and hedger use;
+        entries are content-keyed, so executing on a non-home shard is
+        always safe, it merely re-builds that shard's artifacts.  With
+        ``block=True`` a full shard queue blocks the caller
+        (bounded-queue backpressure); ``block=False`` fast-fails with
+        :class:`~repro.errors.PoolSaturated` instead — the intake an
+        event loop needs, since blocking would stall every other request.
         """
         if self.pool_config.mode != "thread":
             raise ConfigError(
                 "submit() needs thread mode; process pools serve "
                 "synchronous workloads via serve()"
             )
+        if deadline_s is not None:
+            delay = float(deadline_s)
+            # Mirrors the PoolConfig.max_delay_s check; NaN fails both
+            # comparisons, so it needs its own rejection — without this a
+            # NaN or negative deadline silently became an already-expired
+            # round deadline (every request a singleton batch).
+            if not math.isfinite(delay) or delay < 0:
+                raise ConfigError(
+                    f"deadline_s must be finite and >= 0, got {deadline_s!r}"
+                )
+        else:
+            delay = self.pool_config.max_delay_s
+        if shard is not None and not 0 <= shard < self.pool_config.workers:
+            raise ConfigError(
+                f"shard must be in [0, {self.pool_config.workers}), got {shard}"
+            )
         with self._intake_lock:
             if self._closed:
                 raise ConfigError("pool is shut down")
             seq = self._next_seq
             self._next_seq += 1
-            shard = self.shard_of(subgraph, seq)
-            worker = self._workers[shard]
+            index = shard if shard is not None else self.shard_of(subgraph, seq)
+            worker = self._workers[index]
             future = PoolResult(seq, worker.label)
-            delay = (
-                deadline_s
-                if deadline_s is not None
-                else self.pool_config.max_delay_s
+            request = _QueuedRequest(
+                seq=seq,
+                subgraph=subgraph,
+                deadline=time.monotonic() + delay,
+                future=future,
             )
-            worker.queue.put(
-                _QueuedRequest(
-                    seq=seq,
-                    subgraph=subgraph,
-                    deadline=time.monotonic() + delay,
-                    future=future,
-                )
-            )
+            if block:
+                worker.queue.put(request)
+            else:
+                try:
+                    worker.queue.put_nowait(request)
+                except queue.Full:
+                    raise PoolSaturated(
+                        f"shard {worker.label} queue is full "
+                        f"({self.pool_config.queue_capacity} waiting)"
+                    ) from None
         return future
+
+    def queue_depths(self) -> tuple[int, ...]:
+        """Requests currently queued per shard (thread mode).
+
+        A point-in-time approximation (workers drain concurrently), which
+        is exactly what queue-depth-aware routing needs: relative
+        pressure, not an exact census.
+        """
+        return tuple(worker.queue.qsize() for worker in self._workers)
 
     def serve(self, subgraphs: Sequence[Subgraph]) -> list[PoolResult]:
         """Serve a whole workload; completed results in submission order.

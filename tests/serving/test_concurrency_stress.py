@@ -1,0 +1,203 @@
+"""Seeded concurrency stress tests for the shared serving state.
+
+The pool's correctness story rests on three shared structures: the
+thread-safe weight segment (build exactly once, pool-wide), the plan
+exchange (first publisher wins, bounded), and the locked calibration
+view (exactly one worker freezes each quantize site — the bit-identity
+guarantee).  Each test hammers one structure from many threads behind a
+barrier (so the race window is real, not incidental) and asserts no
+lost updates, no duplicate builds, and no deadlock — the module-level
+``timeout`` marker turns a deadlock into a fast failure.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.gnn import make_batched_gin
+from repro.gnn.quantized import ActivationCalibration
+from repro.graph import induced_subgraphs
+from repro.graph.generators import planted_partition_graph
+from repro.partition import metis_like_partition
+from repro.plan.cache import ThreadSafeLRUCache
+from repro.serving import (
+    InferenceEngine,
+    PlanExchange,
+    PoolConfig,
+    ServingConfig,
+    ServingPool,
+)
+from repro.serving.pool import _SharedCalibration
+
+pytestmark = pytest.mark.timeout(300)
+
+THREADS = 16
+
+
+def hammer(worker) -> None:
+    """Run ``worker(thread_index)`` on THREADS threads behind one barrier."""
+    barrier = threading.Barrier(THREADS)
+    errors: list[BaseException] = []
+
+    def target(index: int) -> None:
+        try:
+            barrier.wait()
+            worker(index)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=target, args=(i,)) for i in range(THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+        assert not t.is_alive(), "stress worker deadlocked"
+    if errors:
+        raise errors[0]
+
+
+class TestThreadSafeLRUCacheStress:
+    def test_each_key_built_exactly_once_under_contention(self):
+        keys = 32
+        cache = ThreadSafeLRUCache(64)
+        builds: Counter = Counter()  # mutated only under the cache lock
+
+        def worker(index: int) -> None:
+            for k in range(keys):
+                def build(k=k):
+                    builds[k] += 1
+                    return ("value", k)
+
+                assert cache.get_or_build(("w", k), build) == ("value", k)
+
+        hammer(worker)
+        # No duplicate builds (a lost update would rebuild), no lost keys.
+        assert dict(builds) == {k: 1 for k in range(keys)}
+        assert sorted(cache.keys()) == [("w", k) for k in range(keys)]
+        # Telemetry adds up: every lookup is a hit or the one miss that
+        # built the key, and nothing was evicted from a roomy cache.
+        stats = cache.stats
+        assert stats.misses == keys
+        assert stats.insertions == keys
+        assert stats.evictions == 0
+        assert stats.hits + stats.misses == THREADS * keys
+
+    def test_mixed_put_get_keeps_counters_coherent(self):
+        cache = ThreadSafeLRUCache(8)
+
+        def worker(index: int) -> None:
+            for k in range(64):
+                cache.put(("k", k % 16), index)
+                cache.get(("k", (k + 1) % 16))
+
+        hammer(worker)
+        stats = cache.stats
+        # No lost lookups: every get was counted a hit or a miss, and
+        # every put was counted an insertion (replacements included).
+        assert stats.hits + stats.misses == THREADS * 64
+        assert stats.insertions == THREADS * 64
+        # The cache is bounded even under concurrent inserts.
+        assert len(cache.keys()) <= 8
+
+
+class TestPlanExchangeStress:
+    def test_first_publisher_wins_and_no_lost_plans(self):
+        keys = 32
+        exchange = PlanExchange(capacity=1024)
+
+        def worker(index: int) -> None:
+            for k in range(keys):
+                exchange.publish(("plan", k), f"compiled-by-{index}")
+
+        hammer(worker)
+        assert len(exchange) == keys
+        assert exchange.published == keys  # one winner per key, ever
+        # Every reader sees the one winning plan, whoever raced it in.
+        for k in range(keys):
+            winner = exchange.get(("plan", k))
+            assert winner is not None
+            assert winner == exchange.get(("plan", k))
+        assert exchange.adopted == 2 * keys
+
+    def test_bounded_board_under_concurrent_publish(self):
+        exchange = PlanExchange(capacity=16)
+
+        def worker(index: int) -> None:
+            for k in range(128):
+                exchange.publish(("plan", index, k), k)
+
+        hammer(worker)
+        assert len(exchange) == 16
+
+
+class TestSharedCalibrationStress:
+    def test_exactly_one_thread_freezes_each_site(self, rng):
+        base = ActivationCalibration()
+        shared = _SharedCalibration(base)
+        # Every thread brings *different* values to the same site: only
+        # one calibration may win, or differently-coalesced executions
+        # would quantize with different parameters.
+        values = [
+            np.asarray(rng.normal(size=(32, 8)), dtype=np.float64)
+            for _ in range(THREADS)
+        ]
+        params_seen: list = [None] * THREADS
+
+        def worker(index: int) -> None:
+            for _ in range(8):
+                _, params = shared.quantize("L0/agg", values[index], 8)
+                params_seen[index] = params
+
+        hammer(worker)
+        assert len(base.sites) == 1
+        frozen = base.sites[("L0/agg", 8)]
+        assert all(p == frozen for p in params_seen)
+        # Replays of a frozen site quantize deterministically.
+        codes_a, _ = shared.quantize("L0/agg", values[0], 8)
+        codes_b, _ = shared.quantize("L0/agg", values[0], 8)
+        np.testing.assert_array_equal(codes_a, codes_b)
+
+
+class TestPoolUnderConcurrentSubmitters:
+    def test_hammered_pool_is_bit_identical_to_single_engine(self, rng):
+        g = planted_partition_graph(
+            192, 1200, num_communities=8, feature_dim=12, num_classes=3, rng=rng
+        )
+        subgraphs = induced_subgraphs(g, metis_like_partition(g, 8))
+        model = make_batched_gin(
+            g.features.shape[1], 3, hidden_dim=16, seed=3
+        )
+        calibration = ActivationCalibration()
+        engine = InferenceEngine(
+            model,
+            ServingConfig(feature_bits=8, batch_size=4),
+            calibration=calibration,
+        )
+        expected = [r.logits for r in engine.infer(subgraphs)]
+        outputs: list = [None] * THREADS
+        with ServingPool(
+            model,
+            ServingConfig(feature_bits=8, batch_size=4),
+            pool=PoolConfig(workers=4),
+            calibration=calibration,
+        ) as pool:
+
+            def worker(index: int) -> None:
+                futures = [pool.submit(sub) for sub in subgraphs]
+                outputs[index] = [f.result(timeout=120) for f in futures]
+
+            hammer(worker)
+            stats = pool.stats()
+            assert stats.requests == THREADS * len(subgraphs)
+        # Every submitter, racing every other, got the single engine's
+        # bits — scheduling is never an accuracy decision.
+        for got in outputs:
+            assert got is not None
+            for want, logits in zip(expected, got):
+                np.testing.assert_array_equal(logits, want)

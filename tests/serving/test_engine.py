@@ -391,3 +391,20 @@ class TestSessionTelemetry:
         )
         engine.infer(subgraphs[:2])
         assert engine.device_report.num_batches == 0
+
+    def test_round_seconds_ring_tracks_service_time(self, gin_model, subgraphs):
+        engine = InferenceEngine(
+            gin_model, ServingConfig(feature_bits=8, batch_size=2)
+        )
+        stats = engine.stats
+        # Empty ring: quantiles are defined (0.0), never an error.
+        assert stats.round_seconds_p50 == 0.0
+        assert stats.round_seconds_p99 == 0.0
+        engine.infer(subgraphs)
+        assert len(stats.recent_round_seconds) == stats.batches
+        assert 0.0 < stats.round_seconds_p50 <= stats.round_seconds_p99
+        # The ring holds *seconds per round*; their sum is the measured
+        # execution wall-clock (nothing else ever lands in the ring).
+        assert sum(stats.recent_round_seconds) == pytest.approx(stats.wall_s)
+        # Bounded: the ring never outgrows its window.
+        assert stats.recent_round_seconds.maxlen == 256

@@ -1,0 +1,237 @@
+"""Edge-case tests for the pool's coalescing, deadlines and lifecycle.
+
+The corners PR 6 hardens: the ``deadline_s=0`` no-coalescing fast path,
+deadline validation (negative/NaN/inf submissions must fail loudly, not
+become silently-expired rounds), the ``round_full`` boundary at exactly
+``max_batch_nodes``, the continuous-batching deadline rule (a straggler
+that promised less waiting pulls the round earlier), non-blocking intake
+saturation, and shutdown-drain ordering — including submits racing
+shutdown, which must either be refused or served, never stranded.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, PoolSaturated
+from repro.gnn import make_batched_gin
+from repro.graph import induced_subgraphs
+from repro.graph.batching import round_deadline, round_full
+from repro.graph.generators import planted_partition_graph
+from repro.partition import metis_like_partition
+from repro.serving import PoolConfig, ServingConfig, ServingPool
+
+pytestmark = pytest.mark.timeout(300)
+
+
+@pytest.fixture
+def subgraphs(rng):
+    g = planted_partition_graph(
+        192, 1200, num_communities=8, feature_dim=12, num_classes=3, rng=rng
+    )
+    return induced_subgraphs(g, metis_like_partition(g, 8))
+
+
+@pytest.fixture
+def gin_model(subgraphs):
+    g = subgraphs[0].graph
+    return make_batched_gin(g.features.shape[1], 3, hidden_dim=16, seed=3)
+
+
+def make_pool(model, *, batch_size=4, max_batch_nodes=4096, **pool_kwargs):
+    pool_kwargs.setdefault("workers", 1)
+    return ServingPool(
+        model,
+        ServingConfig(
+            feature_bits=8, batch_size=batch_size, max_batch_nodes=max_batch_nodes
+        ),
+        pool=PoolConfig(**pool_kwargs),
+    )
+
+
+class TestCoalescingRules:
+    def test_round_full_boundary_at_exact_node_budget(self):
+        # Landing exactly on the budget is allowed; one more node is not.
+        assert not round_full(1, 60, 40, 100, None)
+        assert round_full(1, 61, 40, 100, None)
+        # The member cap is inclusive the same way.
+        assert not round_full(3, 10, 10, 100, 4)
+        assert round_full(4, 10, 10, 100, 4)
+        # An empty round is never full — oversized singletons still batch.
+        assert not round_full(0, 0, 10_000, 100, 1)
+
+    def test_round_deadline_only_moves_earlier(self):
+        assert round_deadline(10.0, 7.0) == 7.0
+        assert round_deadline(7.0, 10.0) == 7.0
+        assert round_deadline(5.0, 5.0) == 5.0
+
+    def test_pool_coalesces_up_to_exact_node_budget(self, gin_model, subgraphs):
+        # A budget of exactly (a + b) nodes coalesces the pair into one
+        # round; the third request overflows it and opens the next round.
+        a, b, c = subgraphs[0], subgraphs[1], subgraphs[2]
+        budget = a.num_nodes + b.num_nodes
+        with make_pool(gin_model, batch_size=8, max_batch_nodes=budget) as pool:
+            futures = [
+                pool.submit(a, deadline_s=2.0),
+                pool.submit(b, deadline_s=2.0),
+                pool.submit(c, deadline_s=0.0),
+            ]
+            for future in futures:
+                future.result(timeout=60)
+            stats = pool.stats()
+            assert stats.requests == 3
+            assert stats.batches == 2
+
+    def test_pool_splits_one_node_over_budget(self, gin_model, subgraphs):
+        # One node under the pair's total: b overflows a's round.
+        a, b = subgraphs[0], subgraphs[1]
+        budget = a.num_nodes + b.num_nodes - 1
+        with make_pool(gin_model, batch_size=8, max_batch_nodes=budget) as pool:
+            fa = pool.submit(a, deadline_s=1.0)
+            fb = pool.submit(b, deadline_s=0.0)
+            fa.result(timeout=60)
+            fb.result(timeout=60)
+            assert pool.stats().batches == 2
+
+    def test_straggler_with_earlier_deadline_pulls_round_in(
+        self, gin_model, subgraphs
+    ):
+        # a promises 30s of waiting; b, arriving later, promises none.
+        # The continuous-batching rule executes the round at the earliest
+        # member's deadline, so both must complete promptly, in one batch.
+        with make_pool(gin_model, batch_size=8) as pool:
+            start = time.monotonic()
+            fa = pool.submit(subgraphs[0], deadline_s=30.0)
+            fb = pool.submit(subgraphs[1], deadline_s=0.0)
+            fa.result(timeout=60)
+            fb.result(timeout=60)
+            elapsed = time.monotonic() - start
+            assert elapsed < 10.0  # nobody waited out the 30s deadline
+            stats = pool.stats()
+            assert stats.requests == 2
+            assert stats.batches == 1
+
+
+class TestDeadlineFastPathAndValidation:
+    def test_deadline_zero_skips_coalescing(self, gin_model, subgraphs):
+        # The latency fast path: an already-expired deadline executes the
+        # request as a singleton round, no waiting for batch-mates.
+        with make_pool(gin_model) as pool:
+            for sub in subgraphs[:4]:
+                pool.submit(sub, deadline_s=0.0).result(timeout=60)
+            stats = pool.stats()
+            assert stats.requests == 4
+            assert stats.batches == 4
+            assert stats.mean_batch_occupancy == 1.0
+
+    @pytest.mark.parametrize(
+        "bad", [-1.0, -1e-9, float("nan"), float("inf"), float("-inf")]
+    )
+    def test_rejects_non_finite_or_negative_deadlines(
+        self, gin_model, subgraphs, bad
+    ):
+        with make_pool(gin_model) as pool:
+            # ValueError, not a silently-expired round: ConfigError
+            # subclasses ValueError so stdlib-only callers catch it too.
+            with pytest.raises(ValueError):
+                pool.submit(subgraphs[0], deadline_s=bad)
+            assert pool.stats().requests == 0
+
+    def test_shard_override_routes_to_that_worker(self, gin_model, subgraphs):
+        with make_pool(gin_model, workers=2) as pool:
+            future = pool.submit(subgraphs[0], deadline_s=0.0, shard=1)
+            future.result(timeout=60)
+            assert future.worker == "w1"
+            with pytest.raises(ConfigError):
+                pool.submit(subgraphs[0], shard=2)
+            with pytest.raises(ConfigError):
+                pool.submit(subgraphs[0], shard=-1)
+
+
+class TestNonBlockingIntake:
+    def test_saturated_queue_fast_fails(self, gin_model, subgraphs):
+        # One worker, a one-slot queue, singleton rounds: while the
+        # worker executes, the submitter outruns it and the queue fills —
+        # block=False must shed with PoolSaturated, never block.
+        with make_pool(gin_model, queue_capacity=1) as pool:
+            futures, sheds = [], 0
+            for _ in range(8):
+                for sub in subgraphs:
+                    try:
+                        futures.append(
+                            pool.submit(sub, deadline_s=0.0, block=False)
+                        )
+                    except PoolSaturated:
+                        sheds += 1
+            assert sheds > 0
+            assert futures  # shedding is partial, not total
+            for future in futures:
+                assert future.result(timeout=120).shape[1] == 3
+
+    def test_blocking_intake_never_sheds(self, gin_model, subgraphs):
+        with make_pool(gin_model, queue_capacity=1) as pool:
+            futures = [
+                pool.submit(sub, deadline_s=0.0) for sub in subgraphs
+            ]
+            for future in futures:
+                future.result(timeout=120)
+            assert pool.stats().requests == len(subgraphs)
+
+
+class TestShutdownOrdering:
+    def test_shutdown_drains_queued_requests(self, gin_model, subgraphs):
+        # Requests parked behind generous deadlines when shutdown lands
+        # must still be served by the drain, not stranded.
+        pool = make_pool(gin_model, batch_size=2)
+        futures = [pool.submit(sub, deadline_s=30.0) for sub in subgraphs]
+        pool.shutdown()
+        for sub, future in zip(subgraphs, futures):
+            logits = future.result(timeout=0)  # settled by the drain
+            assert logits.shape == (sub.num_nodes, 3)
+        pool.shutdown()  # idempotent
+
+    def test_submit_after_shutdown_is_refused(self, gin_model, subgraphs):
+        pool = make_pool(gin_model)
+        pool.shutdown()
+        with pytest.raises(ConfigError):
+            pool.submit(subgraphs[0])
+
+    def test_submits_racing_shutdown_are_served_or_refused(
+        self, gin_model, subgraphs
+    ):
+        # The intake/shutdown race has exactly two legal outcomes per
+        # request: a ConfigError at submit, or a future that settles.
+        # A future that never settles (stranded on a drained queue) is
+        # the bug this test exists to catch.
+        pool = make_pool(gin_model, workers=2)
+        accepted: list = []
+        stop = threading.Event()
+
+        def submitter() -> None:
+            i = 0
+            while not stop.is_set():
+                try:
+                    accepted.append(
+                        pool.submit(subgraphs[i % len(subgraphs)], deadline_s=0.01)
+                    )
+                except ConfigError:
+                    return
+                i += 1
+
+        threads = [threading.Thread(target=submitter) for _ in range(4)]
+        for t in threads:
+            t.start()
+        time.sleep(0.3)
+        pool.shutdown()
+        stop.set()
+        for t in threads:
+            t.join(timeout=60)
+            assert not t.is_alive()
+        assert accepted
+        for future in accepted:
+            logits = future.result(timeout=60)
+            assert isinstance(logits, np.ndarray)
