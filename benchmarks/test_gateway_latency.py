@@ -71,6 +71,15 @@ QUEUE_TIMEOUT_S = 0.08
 
 
 def _quantiles(latencies: list[float]) -> dict:
+    if not latencies:
+        # Mirrors LaneStats: no completions means no distribution — nan,
+        # not 0.0 (which would read as a perfect tail and silently pass
+        # every `< threshold` assertion below).
+        return {
+            "p50_ms": float("nan"),
+            "p99_ms": float("nan"),
+            "max_ms": float("nan"),
+        }
     values = np.asarray(latencies, dtype=float)
     return {
         "p50_ms": float(np.quantile(values, 0.5) * 1e3),
@@ -161,12 +170,25 @@ def run_gateway(pool, requests, offsets, expected) -> dict:
     makespan = max(
         offsets[i] + latency for i, latency, _reply in served
     )
+    stats = gateway.stats()
     return {
         "served": len(served),
         "shed": len(outcomes) - len(served),
         "throughput_rps": len(served) / makespan,
         "bit_identical": identical,
-        "rejection_rate": gateway.stats().rejection_rate,
+        "rejection_rate": stats.rejection_rate,
+        # Idle lanes report nan quantiles by contract; JSON has no nan,
+        # so they emit as null rather than a fake perfect 0.0.
+        "lanes": {
+            name: {
+                "submitted": lane.submitted,
+                "completed": lane.completed,
+                "rejected": lane.rejected,
+                "p50_ms": lane.latency_p50_s * 1e3 if lane.has_latency else None,
+                "p99_ms": lane.latency_p99_s * 1e3 if lane.has_latency else None,
+            }
+            for name, lane in stats.per_lane.items()
+        },
         **_quantiles(latencies),
     }
 

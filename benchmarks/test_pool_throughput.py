@@ -31,6 +31,7 @@ from repro.gnn.quantized import ActivationCalibration
 from repro.graph import induced_subgraphs
 from repro.graph.generators import planted_partition_graph
 from repro.partition import metis_like_partition
+from repro.perf import build_pag
 from repro.serving import InferenceEngine, PoolConfig, ServingConfig, ServingPool
 
 #: 1-bit keeps per-request *execution* cheap (one plane pair per GEMM)
@@ -121,6 +122,9 @@ def run_pool_throughput() -> dict:
         (w.label, w.requests, w.batches, w.plan_cache.hits, w.plan_cache.misses)
         for w in stats.per_worker
     ]
+    # Perf-report health: the PAG's phase attribution must account for
+    # (nearly) every measured second the pool spent executing.
+    pag_coverage = build_pag(pool).coverage()
     pool.shutdown()
     return {
         "requests": len(requests),
@@ -140,6 +144,7 @@ def run_pool_throughput() -> dict:
         "per_worker": per_worker,
         "plans_published": stats.plans_published,
         "table_merges": stats.table_merges,
+        "pag_coverage": pag_coverage,
     }
 
 
@@ -153,7 +158,8 @@ def format_pool_throughput(r: dict) -> str:
         f"{r['single_req_per_s']:>10.1f}",
         f"{'4-worker pool (sharded)':<30} {r['pool_s'] * 1e3:>10.1f} "
         f"{r['pool_req_per_s']:>10.1f}",
-        f"speedup: {r['speedup']:.2f}x   bit-identical logits: {r['identical']}",
+        f"speedup: {r['speedup']:.2f}x   bit-identical logits: {r['identical']}"
+        f"   PAG phase coverage: {r['pag_coverage']:.3f}",
         "per-worker (requests, batches, plan hits/misses): "
         + "  ".join(
             f"{label}: {req}r {bat}b {hits}/{misses}"
@@ -189,6 +195,7 @@ def test_pool_throughput(benchmark, once, report, bench_json):
             "bit_identical": r["identical"],
             "plans_published": r["plans_published"],
             "table_merges": r["table_merges"],
+            "pag_coverage": r["pag_coverage"],
         },
     )
 
@@ -201,3 +208,8 @@ def test_pool_throughput(benchmark, once, report, bench_json):
         assert hits > misses, f"{label} did not reach steady-state replay"
     # Acceptance: the pool sustains >= 2x the single-session throughput.
     assert r["speedup"] >= 2.0, f"pool speedup only {r['speedup']:.2f}x"
+    # The perf report's phase attribution accounts for >= 95% of the
+    # pool's measured execution wall-clock.
+    assert r["pag_coverage"] >= 0.95, (
+        f"PAG attributes only {r['pag_coverage']:.3f} of pool wall-clock"
+    )

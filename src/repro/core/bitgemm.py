@@ -307,7 +307,10 @@ def _resolve_backend(
     from ..plan.ir import GemmSpec
     from ..plan.registry import default_registry, resolve_engine_name
 
-    registry = registry or default_registry()
+    # None check, not truthiness: an empty caller registry (falsy — it
+    # defines __len__) must not silently become the default backend set.
+    if registry is None:
+        registry = default_registry()
     spec = GemmSpec(
         m=a_packed.logical_vectors,
         k=a_packed.logical_k,

@@ -85,6 +85,7 @@ __all__ = [
     "ActivationCalibration",
     "PackedAdjacency",
     "PackedLayerWeight",
+    "PhaseTiming",
     "QuantizedForwardResult",
     "StepTiming",
     "execute_forward_plan",
@@ -93,6 +94,32 @@ __all__ = [
     "quantize_model_weights",
     "quantized_forward",
 ]
+
+
+@dataclass(frozen=True)
+class PhaseTiming:
+    """Measured wall-clock of one execution phase of a forward pass.
+
+    Where :class:`StepTiming` covers only the backend-dependent kernel
+    dispatch (the autotuning sample), phase timings cover *everything* a
+    forward pass spends time on — materializing features, quantizing,
+    packing, censusing, the GEMM itself, affine epilogues and
+    activations — so :mod:`repro.perf` can attribute (nearly) all of a
+    session's measured wall-clock to named plan-step phases.  ``gemm``
+    phases reuse the exact elapsed value of the corresponding
+    :class:`StepTiming`, so backend attribution and phase attribution
+    never disagree about the kernel seconds.
+    """
+
+    #: Phase name: ``materialize``, ``quantize``, ``pack``, ``census``,
+    #: ``gemm``, ``epilogue`` or ``activation``.
+    phase: str
+    #: The step role the phase belongs to (``aggregate``/``update``), or
+    #: ``forward`` for per-pass phases like materialization.
+    role: str
+    #: Model layer index, or ``-1`` for phases outside any layer.
+    layer: int
+    seconds: float
 
 
 @dataclass(frozen=True)
@@ -120,6 +147,10 @@ class QuantizedForwardResult:
     #: One measured per-GEMM timing per executed plan step, in execution
     #: order (parallel to ``counters``).
     timings: tuple[StepTiming, ...] = ()
+    #: Full phase attribution of the pass's wall-clock (quantize / pack /
+    #: census / gemm / epilogue / ... — see :class:`PhaseTiming`); empty
+    #: for paths that do not collect phases.
+    phases: tuple[PhaseTiming, ...] = ()
 
     @property
     def total_counters(self) -> KernelCounters:
@@ -294,6 +325,8 @@ def _affine_product(
     registry=None,
     timings: list[StepTiming] | None = None,
     spec: GemmSpec | None = None,
+    phases: list[PhaseTiming] | None = None,
+    layer: int = -1,
 ) -> np.ndarray:
     """Full affine-corrected product of a quantized matrix and a packed weight."""
     k = q_left.shape[1]
@@ -301,7 +334,9 @@ def _affine_product(
         raise ShapeError(
             f"inner dims differ: {q_left.shape} x {weight.packed.logical_shape}"
         )
+    start = time.perf_counter()
     packed_l = pack_matrix(q_left, p_left.bits, layout="col")
+    packed_at = time.perf_counter()
     # Ballot a 1-bit left operand *outside* the timing window (mirroring
     # kernel.run's internal census) so the StepTiming sample covers the
     # same census-amortized work the offline autotuner measures — mixing
@@ -312,22 +347,34 @@ def _affine_product(
         if packed_l.bits == 1 and kernel.config.zero_tile_jumping
         else None
     )
-    start = time.perf_counter()
+    census_at = time.perf_counter()
     res = kernel.run(
         packed_l, weight.packed, engine=engine, plan=plan, registry=registry
     )
+    gemm_s = time.perf_counter() - census_at
     if timings is not None and spec is not None and isinstance(engine, str):
-        timings.append(StepTiming(spec, engine, time.perf_counter() - start))
+        timings.append(StepTiming(spec, engine, gemm_s))
     counters.append(res.counters)
+    epilogue_at = time.perf_counter()
     s_l, c_l = p_left.scale, _mid_offset(p_left)
     s_r, c_r = weight.params.scale, _mid_offset(weight.params)
     row_sums = q_left.sum(axis=1, dtype=np.float64)[:, None]
-    return (
+    out = (
         s_l * s_r * res.output
         + s_l * c_r * row_sums
         + c_l * s_r * weight.col_sums
         + k * c_l * c_r
     ).astype(np.float64)
+    if phases is not None:
+        phases.append(PhaseTiming("pack", "update", layer, packed_at - start))
+        phases.append(PhaseTiming("census", "update", layer, census_at - packed_at))
+        phases.append(PhaseTiming("gemm", "update", layer, gemm_s))
+        phases.append(
+            PhaseTiming(
+                "epilogue", "update", layer, time.perf_counter() - epilogue_at
+            )
+        )
+    return out
 
 
 def execute_forward_plan(
@@ -375,6 +422,7 @@ def execute_forward_plan(
     kernel = BitGemmKernel(kernel_config or KernelConfig())
     counters: list[KernelCounters] = []
     timings: list[StepTiming] = []
+    phases: list[PhaseTiming] = []
 
     def resolve(key, builder):
         if artifacts is not None and key is not None:
@@ -411,7 +459,11 @@ def execute_forward_plan(
     adj_plan = packed_adjacency.plan
     degrees = packed_adjacency.degrees
 
+    start = time.perf_counter()
     h = batch.features().astype(np.float64)
+    phases.append(
+        PhaseTiming("materialize", "forward", -1, time.perf_counter() - start)
+    )
     if h.shape[1] != sig.feature_dim:
         raise ShapeError(
             f"plan compiled for feature_dim={sig.feature_dim} cannot execute "
@@ -425,40 +477,88 @@ def execute_forward_plan(
             return quantize(x_real, bits=step.bits)
         return calibration.quantize(step.site, x_real, step.bits)
 
-    def aggregate(x_real: np.ndarray, step: GemmStep) -> np.ndarray:
+    def aggregate(x_real: np.ndarray, step: GemmStep, layer: int) -> np.ndarray:
         """``Â @ x`` with the adjacency exact (1-bit) and x quantized."""
-        qx, px = quantize_at(step.quantize_b, x_real)
-        packed_x = pack_matrix(qx, step.quantize_b.bits, layout="row")
         start = time.perf_counter()
+        qx, px = quantize_at(step.quantize_b, x_real)
+        quantized_at = time.perf_counter()
+        packed_x = pack_matrix(qx, step.quantize_b.bits, layout="row")
+        packed_at = time.perf_counter()
         res = kernel.run(
             packed_adj, packed_x, engine=step.backend, plan=adj_plan,
             registry=registry,
         )
-        timings.append(StepTiming(step.spec, step.backend, time.perf_counter() - start))
+        gemm_s = time.perf_counter() - packed_at
+        timings.append(StepTiming(step.spec, step.backend, gemm_s))
         counters.append(res.counters)
         # Â is exact binary: real = s_x * (Â q_x) + c_x * degree.
-        return px.scale * res.output + _mid_offset(px) * degrees
+        epilogue_at = time.perf_counter()
+        out = px.scale * res.output + _mid_offset(px) * degrees
+        phases.append(
+            PhaseTiming("quantize", "aggregate", layer, quantized_at - start)
+        )
+        phases.append(
+            PhaseTiming("pack", "aggregate", layer, packed_at - quantized_at)
+        )
+        phases.append(PhaseTiming("gemm", "aggregate", layer, gemm_s))
+        phases.append(
+            PhaseTiming(
+                "epilogue", "aggregate", layer, time.perf_counter() - epilogue_at
+            )
+        )
+        return out
 
     def update(x_real: np.ndarray, step: GemmStep, layer: int) -> np.ndarray:
         """``x @ W + b`` with both operands quantized."""
+        start = time.perf_counter()
         qx, px = quantize_at(step.quantize_a, x_real)
+        phases.append(
+            PhaseTiming("quantize", "update", layer, time.perf_counter() - start)
+        )
         out = _affine_product(
             qx, px, packed_weights[layer], kernel, counters, step.backend,
             registry=registry, timings=timings, spec=step.spec,
+            phases=phases, layer=layer,
         )
-        return out + model.biases[layer]
+        start = time.perf_counter()
+        out = out + model.biases[layer]
+        phases.append(
+            PhaseTiming("epilogue", "update", layer, time.perf_counter() - start)
+        )
+        return out
 
     for layer in plan.layers:
         if sig.aggregate_first:
-            h = update(aggregate(h, layer.aggregate), layer.update, layer.index)
+            h = update(
+                aggregate(h, layer.aggregate, layer.index),
+                layer.update,
+                layer.index,
+            )
         else:
-            h = aggregate(update(h, layer.update, layer.index), layer.aggregate)
+            h = aggregate(
+                update(h, layer.update, layer.index),
+                layer.aggregate,
+                layer.index,
+            )
         if not layer.is_output:
+            start = time.perf_counter()
             h = relu(h)
+            phases.append(
+                PhaseTiming(
+                    "activation", "forward", layer.index,
+                    time.perf_counter() - start,
+                )
+            )
 
+    start = time.perf_counter()
     logits = softmax(h) if apply_softmax else h
+    if apply_softmax:
+        phases.append(
+            PhaseTiming("activation", "forward", -1, time.perf_counter() - start)
+        )
     return QuantizedForwardResult(
-        logits=logits, counters=counters, timings=tuple(timings)
+        logits=logits, counters=counters, timings=tuple(timings),
+        phases=tuple(phases),
     )
 
 

@@ -183,7 +183,11 @@ def registry_digest(registry: BackendRegistry | None = None) -> str:
     Registration order matters (price ties resolve to the first name), so
     the digest is the ordered name tuple, not a set.
     """
-    registry = registry or default_registry()
+    # None check, not truthiness: an empty registry is falsy, and
+    # digesting the default set instead would let a table recorded
+    # against *no* backends validate against the built-in ones.
+    if registry is None:
+        registry = default_registry()
     return ",".join(registry.names())
 
 

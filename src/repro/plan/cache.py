@@ -54,6 +54,9 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     insertions: int = 0
+    #: Entries dropped by policy (:meth:`LRUCache.discard` — e.g. the
+    #: stale-plan invalidation path), as opposed to capacity evictions.
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -69,7 +72,13 @@ class CacheStats:
 
     def snapshot(self) -> "CacheStats":
         """An independent copy (reports should not alias live counters)."""
-        return CacheStats(self.hits, self.misses, self.evictions, self.insertions)
+        return CacheStats(
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.insertions,
+            self.invalidations,
+        )
 
     def merge(self, other: "CacheStats") -> "CacheStats":
         """Accumulate another counter set into this one; returns ``self``."""
@@ -77,6 +86,7 @@ class CacheStats:
         self.misses += other.misses
         self.evictions += other.evictions
         self.insertions += other.insertions
+        self.invalidations += other.invalidations
         return self
 
 
@@ -127,6 +137,27 @@ class LRUCache(Generic[K, V]):
         self._entries.move_to_end(key)
         self.stats.hits += 1
         return value
+
+    def peek(self, key: K) -> V | None:
+        """Return the cached value *without* counting a lookup or
+        refreshing recency — the read an inspection pass (e.g. the
+        stale-plan scan) uses so analysis never perturbs the telemetry
+        or eviction order it is analyzing."""
+        return self._entries.get(key)
+
+    def discard(self, key: K) -> bool:
+        """Drop one entry if present; returns whether it was held.
+
+        Not an eviction (the entry is removed by policy, not capacity
+        pressure), so it counts against ``stats.invalidations`` rather
+        than ``stats.evictions``.
+        """
+        value = self._entries.pop(key, None)
+        if value is None:
+            return False
+        self._bytes -= self._size_of(value) if self._size_of else 0
+        self.stats.invalidations += 1
+        return True
 
     def put(self, key: K, value: V) -> None:
         """Insert (or replace) a value, evicting LRU entries over capacity."""
@@ -195,6 +226,16 @@ class ThreadSafeLRUCache(LRUCache[K, V]):
         with self._lock:
             return super().keys()
 
+    def peek(self, key: K) -> V | None:
+        """Thread-safe :meth:`LRUCache.peek`."""
+        with self._lock:
+            return super().peek(key)
+
+    def discard(self, key: K) -> bool:
+        """Thread-safe :meth:`LRUCache.discard`."""
+        with self._lock:
+            return super().discard(key)
+
     def clear(self) -> None:
         """Thread-safe :meth:`LRUCache.clear`."""
         with self._lock:
@@ -244,7 +285,13 @@ class PlanCache:
             str(kind): LRUCache(capacity, size_of=size_of)
             for kind, capacity in capacities.items()
         }
-        for kind, segment in (shared or {}).items():
+        # Explicit None check: an *empty* shared mapping is falsy, and a
+        # caller mounting an (initially empty) dict of segments it intends
+        # to alias across sessions must not be handed private ones —
+        # the same bug class as the shared-empty-calibration fix.
+        if shared is None:
+            shared = {}
+        for kind, segment in shared.items():
             if not isinstance(segment, LRUCache):
                 raise ConfigError(
                     f"shared segment {kind!r} must be an LRUCache, "

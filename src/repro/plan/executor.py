@@ -85,7 +85,11 @@ def execute_gemm_plan(
     never a silent wrong answer.
     """
     _check_operands(step, a_packed, b_packed)
-    backend = (registry or default_registry()).get(step.backend)
+    # None check, not truthiness: an empty registry is falsy, and falling
+    # back to the default set would execute a backend the caller removed.
+    backend = (default_registry() if registry is None else registry).get(
+        step.backend
+    )
     partial = backend.run_planes(a_packed, b_packed, tile_masks)
     return reduce_plane_products(partial)
 

@@ -302,7 +302,12 @@ def resolve_engine_name(
     Raises :class:`~repro.errors.ShapeError` for unknown names, matching
     the pre-registry behavior callers already handle.
     """
-    registry = registry or default_registry()
+    # Explicit None check: a registry defines __len__, so an *empty*
+    # caller-supplied registry is falsy and `registry or default` would
+    # silently resolve names against the default set the caller
+    # deliberately excluded.
+    if registry is None:
+        registry = default_registry()
     if callable(engine):
         chosen = engine(spec.m, spec.k, spec.n, spec.bits_a, spec.bits_b)
         if chosen not in registry:

@@ -58,6 +58,7 @@ from .engine import (
     InferenceResult,
     ServingConfig,
     SessionStats,
+    StalePlan,
 )
 from .pool import (
     PlanExchange,
@@ -92,6 +93,7 @@ __all__ = [
     "ServingGateway",
     "ServingPool",
     "SessionStats",
+    "StalePlan",
     "WeightCacheKey",
     "WorkerStats",
     "route_shard",

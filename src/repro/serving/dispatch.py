@@ -54,6 +54,7 @@ split its per-product decisions are frozen into the compiled
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -93,6 +94,9 @@ class DispatchDecision:
     #: Backends whose price came from the measured dispatch table rather
     #: than the analytic model (empty when pricing was purely analytic).
     tuned_backends: tuple[str, ...] = ()
+    #: True when epsilon-greedy exploration overrode the cheapest-price
+    #: pick (the chosen engine was sampled, not argmin'd).
+    explored: bool = False
 
     @property
     def tuned(self) -> bool:
@@ -140,10 +144,16 @@ class CostModelDispatcher:
         rates: HostRates | None = None,
         registry: BackendRegistry | None = None,
         table: DispatchTable | None = None,
+        explore_epsilon: float = 0.0,
+        explore_seed: int = 0,
     ) -> None:
         if blas_bytes_budget < 1:
             raise ConfigError(
                 f"blas_bytes_budget must be positive, got {blas_bytes_budget}"
+            )
+        if not 0.0 <= explore_epsilon <= 1.0:
+            raise ConfigError(
+                f"explore_epsilon must be in [0, 1], got {explore_epsilon}"
             )
         self.cost = TCCostModel(device)
         self.blas_bytes_budget = blas_bytes_budget
@@ -157,10 +167,25 @@ class CostModelDispatcher:
             einsum_flops=self.EINSUM_FLOPS,
             einsum_call_overhead_s=self.EINSUM_CALL_OVERHEAD_S,
         )
-        self.registry = registry or default_registry()
+        # None check, not truthiness: an empty caller registry is falsy
+        # (BackendRegistry defines __len__) and must not be silently
+        # replaced by the default backend set.
+        self.registry = default_registry() if registry is None else registry
         #: Measured timing table consulted before the analytic model;
         #: ``None`` keeps every price analytic.
         self.table = table
+        #: Probability one dispatch decision picks a uniformly random
+        #: non-vetoed candidate instead of the cheapest price — the
+        #: online-only discovery path: a backend the model never favors
+        #: still gets timing samples into the table.  ``0.0`` (default)
+        #: disables exploration entirely.
+        self.explore_epsilon = explore_epsilon
+        #: Exploration decisions taken so far (telemetry).
+        self.explored_decisions = 0
+        # Private seeded RNG: exploration must be reproducible at a fixed
+        # seed and must not perturb (or be perturbed by) the global
+        # random/numpy state the rest of the stack uses.
+        self._explore_rng = random.Random(explore_seed)
         #: Measured non-zero tile fraction of the batch currently being
         #: served; ``None`` until the serving engine observes one.
         self.tile_fraction: float | None = None
@@ -219,9 +244,27 @@ class CostModelDispatcher:
 
     # ------------------------------------------------------------------ #
     def decide(
-        self, m: int, k: int, n: int, bits_a: int, bits_b: int
+        self,
+        m: int,
+        k: int,
+        n: int,
+        bits_a: int,
+        bits_b: int,
+        *,
+        explore: bool = True,
     ) -> DispatchDecision:
-        """Price every eligible backend for an ``m x k x n`` product and choose."""
+        """Price every eligible backend for an ``m x k x n`` product and choose.
+
+        With ``explore_epsilon > 0`` and ``explore=True``, a fraction of
+        decisions pick a uniformly random *viable* candidate (finite
+        effective price — vetoed backends stay excluded: resource budgets
+        outrank exploration too) instead of the cheapest one; the
+        resulting executed-step timing feeds the dispatch table, so a
+        backend the analytic model never favors can still be discovered
+        online.  ``explore=False`` forces the pure cheapest-price answer —
+        what analysis passes (e.g. the stale-plan scan) ask, since a
+        random pick is not a *tuned* pick.
+        """
         counters = self.cost.gemm_counters(m, k, n, bits_a, bits_b)
         flops = counters.mma_ops * MMA_FLOPS  # padded work, all plane pairs
         spec = GemmSpec(m=m, k=k, n=n, bits_a=bits_a, bits_b=bits_b)
@@ -250,6 +293,21 @@ class CostModelDispatcher:
                 f"{bits_a}x{bits_b}-bit {m}x{k}x{n} product"
             )
         engine = min(prices.items(), key=lambda kv: kv[1].effective_s)[0]
+        explored = False
+        if (
+            explore
+            and self.explore_epsilon > 0.0
+            and self._explore_rng.random() < self.explore_epsilon
+        ):
+            viable = [
+                name
+                for name, price in prices.items()
+                if math.isfinite(price.effective_s)
+            ]
+            if viable:
+                engine = self._explore_rng.choice(viable)
+                explored = True
+                self.explored_decisions += 1
 
         packed = prices.get("packed")
         blas = prices.get("blas")
@@ -266,7 +324,10 @@ class CostModelDispatcher:
             tuned_backends=tuple(
                 name for name, price in prices.items() if price.source == "tuned"
             ),
+            explored=explored,
         )
 
     def __call__(self, m: int, k: int, n: int, bits_a: int, bits_b: int) -> str:
+        """Resolve one product to a backend name (the ``EngineSelector``
+        compatibility signature over :meth:`decide`)."""
         return self.decide(m, k, n, bits_a, bits_b).engine

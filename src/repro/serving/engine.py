@@ -104,6 +104,7 @@ __all__ = [
     "InferenceRequest",
     "InferenceResult",
     "SessionStats",
+    "StalePlan",
     "InferenceEngine",
 ]
 
@@ -163,6 +164,15 @@ class ServingConfig:
     #: Feed executed plan steps' measured timings back into the dispatch
     #: table (only meaningful with ``engine="cost"``).
     record_timings: bool = True
+    #: Probability one plan-compile dispatch decision explores a random
+    #: viable backend instead of the cheapest-priced one (epsilon-greedy;
+    #: only meaningful with ``engine="cost"``).  ``0.0`` disables
+    #: exploration — the default, since exploration deliberately executes
+    #: non-optimal backends to buy the table samples it could never get
+    #: from pure exploitation.
+    explore_epsilon: float = 0.0
+    #: Seed of the exploration RNG — fixed seed, identical decisions.
+    explore_seed: int = 0
     kernel: KernelConfig = field(default_factory=KernelConfig)
     device: DeviceSpec = RTX3090
     apply_softmax: bool = False
@@ -198,6 +208,10 @@ class ServingConfig:
             raise ConfigError(
                 f"table_stale_after must be >= 1 or None, got {self.table_stale_after}"
             )
+        if not 0.0 <= self.explore_epsilon <= 1.0:
+            raise ConfigError(
+                f"explore_epsilon must be in [0, 1], got {self.explore_epsilon}"
+            )
         if self.engine not in ("cost", "auto") and self.engine not in default_registry():
             raise ConfigError(
                 "engine must be 'cost', 'auto' or a registered backend "
@@ -227,6 +241,24 @@ class InferenceResult:
     batch_id: int
     #: ``(num_nodes, num_classes)`` float logits for this request's nodes.
     logits: np.ndarray
+
+
+@dataclass(frozen=True)
+class StalePlan:
+    """One cached plan whose frozen backend diverged from the tuned pick.
+
+    Produced by :meth:`InferenceEngine.stale_plans`: the plan froze a
+    dispatch decision at compile time, and the dispatch table has since
+    learned (through online timing feedback, an offline ``autotune()``
+    sweep, or a cross-shard merge) that a different backend is cheaper
+    for at least one of its GEMMs.
+    """
+
+    #: The plan's content key in the session's ``plan`` cache segment.
+    key: PlanKey
+    #: One ``(site, frozen_backend, tuned_backend)`` triple per diverged
+    #: GEMM step, e.g. ``("L0/agg", "packed", "sparse")``.
+    divergences: tuple[tuple[str, str, str], ...]
 
 
 @dataclass
@@ -262,6 +294,17 @@ class SessionStats:
     #: :func:`~repro.runtime.executor.step_time_attribution` of every
     #: executed plan step this session ran.
     backend_seconds: dict[str, float] = field(default_factory=dict)
+    #: Measured wall-clock attributed per execution phase (quantize /
+    #: pack / census / gemm / epilogue / activation / materialize, plus
+    #: the engine-level ``pack_adjacency`` and ``plan_compile`` windows) —
+    #: what :func:`repro.perf.build_pag` reads; sums to (nearly all of)
+    #: :attr:`wall_s`.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Cached plans dropped because their frozen backend choice diverged
+    #: from the dispatch table's current tuned pick
+    #: (:meth:`InferenceEngine.invalidate_stale_plans`); each recompiles
+    #: on its next replay with bit-identical logits.
+    plans_invalidated: int = 0
     #: Per-kind telemetry windows onto the session's unified plan cache.
     weight_cache: CacheStats = field(default_factory=CacheStats)
     adjacency_cache: CacheStats = field(default_factory=CacheStats)
@@ -376,7 +419,10 @@ class InferenceEngine:
         self._engine: Engine
         if self.config.engine == "cost":
             self._engine = CostModelDispatcher(
-                self.config.device, table=self._resolve_dispatch_table()
+                self.config.device,
+                table=self._resolve_dispatch_table(),
+                explore_epsilon=self.config.explore_epsilon,
+                explore_seed=self.config.explore_seed,
             )
         else:
             self._engine = self.config.engine
@@ -619,6 +665,102 @@ class InferenceEngine:
         )
 
     # ------------------------------------------------------------------ #
+    # Stale-plan detection and invalidation
+    # ------------------------------------------------------------------ #
+    def stale_plans(self) -> list[StalePlan]:
+        """Cached plans whose frozen dispatch diverged from the tuned pick.
+
+        A compiled plan freezes each GEMM's backend at compile time; the
+        dispatch table keeps learning afterwards (online timing feedback,
+        offline sweeps, cross-shard merges).  This scan re-prices every
+        cached plan's GEMMs against the *current* table — reproducing the
+        compile-time census coordinates from the plan's cached adjacency
+        artifact — and reports the plans whose frozen choice no longer
+        matches.  Read-only: uses ``peek`` so neither cache telemetry nor
+        recency order is perturbed, and dispatches with ``explore=False``
+        so an epsilon-greedy session's analysis is deterministic.
+
+        Plans whose adjacency artifact has been evicted are skipped — the
+        compile-time census cannot be reproduced, so divergence cannot be
+        judged (they will recompile naturally if replayed after their
+        adjacency is rebuilt).  Empty unless dispatch is cost-model.
+        """
+        if not isinstance(self._engine, CostModelDispatcher):
+            return []
+        dispatcher = self._engine
+        plan_segment = self._cache.segment("plan")
+        adjacency_segment = self._cache.segment("adjacency")
+        stale: list[StalePlan] = []
+        # The scan re-observes each plan's census; save the live serving
+        # observation so analysis leaves dispatch state untouched.
+        saved_fraction = dispatcher.tile_fraction
+        saved_nodes = dispatcher._observed_nodes
+        try:
+            for key in plan_segment.keys():
+                plan = plan_segment.peek(key)
+                if plan is None:
+                    continue
+                adjacency = adjacency_segment.peek(
+                    plan.layers[0].aggregate.pack_a.cache_key
+                )
+                if adjacency is None:
+                    continue
+                dispatcher.observe_tile_fraction(
+                    adjacency.nonzero_fraction, nodes=adjacency.num_nodes
+                )
+                divergences: list[tuple[str, str, str]] = []
+                for layer in plan.layers:
+                    for step, tag in (
+                        (layer.aggregate, "agg"),
+                        (layer.update, "upd"),
+                    ):
+                        spec = step.spec
+                        decision = dispatcher.decide(
+                            spec.m,
+                            spec.k,
+                            spec.n,
+                            spec.bits_a,
+                            spec.bits_b,
+                            explore=False,
+                        )
+                        if decision.engine != step.backend:
+                            divergences.append(
+                                (
+                                    f"L{layer.index}/{tag}",
+                                    step.backend,
+                                    decision.engine,
+                                )
+                            )
+                if divergences:
+                    stale.append(StalePlan(key=key, divergences=tuple(divergences)))
+        finally:
+            dispatcher.tile_fraction = saved_fraction
+            dispatcher._observed_nodes = saved_nodes
+        return stale
+
+    def invalidate_stale_plans(self) -> list[StalePlan]:
+        """Drop every stale plan so its next replay recompiles.
+
+        For each plan :meth:`stale_plans` reports, the cached entry is
+        discarded (counted in ``stats.plans_invalidated`` and the plan
+        segment's ``invalidations``, not its evictions) and, in a pool,
+        the cross-worker plan-exchange entry is discarded too — otherwise
+        the recompile's exchange lookup would re-adopt the very plan that
+        was just invalidated.  The next execution of the same batch
+        misses, recompiles under the current tuned table, and returns
+        bit-identical logits (a plan's backend choice affects schedule,
+        never arithmetic).  Returns what was invalidated.
+        """
+        stale = self.stale_plans()
+        plan_segment = self._cache.segment("plan")
+        for entry in stale:
+            if plan_segment.discard(entry.key):
+                self.stats.plans_invalidated += 1
+            if self._plan_exchange is not None:
+                self._plan_exchange.discard(entry.key)
+        return stale
+
+    # ------------------------------------------------------------------ #
     # Request intake
     # ------------------------------------------------------------------ #
     def _make_request(self, subgraph: Subgraph) -> InferenceRequest:
@@ -721,7 +863,9 @@ class InferenceEngine:
         weights = self.packed_weights()
         start = time.perf_counter()
         adjacency = self.packed_adjacency_for(batch)
+        adjacency_at = time.perf_counter()
         plan = self.plan_for(batch, adjacency=adjacency)
+        plan_at = time.perf_counter()
         forward = execute_forward_plan(
             plan,
             self.model,
@@ -739,6 +883,21 @@ class InferenceEngine:
         for backend, seconds in step_time_attribution(forward.timings).items():
             self.stats.backend_seconds[backend] = (
                 self.stats.backend_seconds.get(backend, 0.0) + seconds
+            )
+        # Phase attribution of the measured window: the two engine-level
+        # sub-windows (artifact resolution, plan lookup/compile) plus the
+        # executor's per-phase timings, so (nearly) every wall_s second
+        # has a named owner in the perf report.
+        phase_seconds = self.stats.phase_seconds
+        phase_seconds["pack_adjacency"] = (
+            phase_seconds.get("pack_adjacency", 0.0) + (adjacency_at - start)
+        )
+        phase_seconds["plan_compile"] = (
+            phase_seconds.get("plan_compile", 0.0) + (plan_at - adjacency_at)
+        )
+        for timing in forward.phases:
+            phase_seconds[timing.phase] = (
+                phase_seconds.get(timing.phase, 0.0) + timing.seconds
             )
         if self.config.record_timings and isinstance(self._engine, CostModelDispatcher):
             # Every executed step — compiled or replayed — is a free

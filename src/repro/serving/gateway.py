@@ -219,9 +219,15 @@ class LaneStats:
     #: timeout or a full shard queue).
     rejected: int
     #: Latency quantiles over the lane's recent completions (seconds;
-    #: 0.0 before any completion).
+    #: ``nan`` before any completion — an idle lane has no latency
+    #: distribution, and 0.0 would read as a perfect one).
     latency_p50_s: float
     latency_p99_s: float
+
+    @property
+    def has_latency(self) -> bool:
+        """Whether the lane has completed anything (quantiles are real)."""
+        return not math.isnan(self.latency_p50_s)
 
 
 @dataclass(frozen=True)
@@ -258,8 +264,12 @@ class _LaneState:
     latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
 
     def latency_quantile(self, q: float) -> float:
+        # An empty ring has no distribution: nan, not 0.0 — an idle lane
+        # must not report a perfect p50/p99 to SLO dashboards or the perf
+        # passes (nan also fails any `< threshold` comparison, so a
+        # misconfigured alert trips rather than silently passing).
         if not self.latencies:
-            return 0.0
+            return float("nan")
         return float(np.quantile(np.fromiter(self.latencies, dtype=float), q))
 
 

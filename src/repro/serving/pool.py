@@ -214,6 +214,18 @@ class PlanExchange:
             while len(self._plans) > self.capacity:
                 self._plans.popitem(last=False)
 
+    def discard(self, key: tuple) -> bool:
+        """Withdraw one published plan; returns whether it was held.
+
+        The invalidation half of the board
+        (:meth:`~repro.serving.engine.InferenceEngine.invalidate_stale_plans`):
+        a plan whose frozen dispatch diverged from the tuned pick must
+        leave the exchange along with the shard caches, or the recompile
+        miss would simply re-adopt the stale plan from here.
+        """
+        with self._lock:
+            return self._plans.pop(key, None) is not None
+
 
 class _SharedCalibration(ActivationCalibration):
     """A view over a base calibration whose first-touch freeze is locked.
@@ -342,6 +354,9 @@ class WorkerStats:
     plans_adopted: int
     #: Measured wall-clock attributed per executed backend.
     backend_seconds: dict[str, float]
+    #: Measured wall-clock attributed per execution phase (what the
+    #: perf report's per-worker phase nodes are built from).
+    phase_seconds: dict[str, float]
     plan_cache: CacheStats
     adjacency_cache: CacheStats
 
@@ -363,6 +378,8 @@ class PoolStats:
     plans_adopted: int
     #: Pool-wide measured seconds per executed backend.
     backend_seconds: dict[str, float]
+    #: Pool-wide measured seconds per execution phase.
+    phase_seconds: dict[str, float]
     per_worker: tuple[WorkerStats, ...] = ()
 
     @property
@@ -498,6 +515,7 @@ class _Worker:
             autotune_samples=stats.autotune_samples,
             plans_adopted=stats.plans_adopted,
             backend_seconds=dict(stats.backend_seconds),
+            phase_seconds=dict(stats.phase_seconds),
             plan_cache=self.engine.plan_cache.stats.snapshot(),
             adjacency_cache=self.engine.adjacency_cache.stats.snapshot(),
         )
@@ -524,6 +542,7 @@ def _run_process_shard(args: tuple) -> tuple[int, list[np.ndarray], dict]:
         "wall_s": stats.wall_s,
         "autotune_samples": stats.autotune_samples,
         "backend_seconds": dict(stats.backend_seconds),
+        "phase_seconds": dict(stats.phase_seconds),
     }
     return index, [r.logits for r in results], summary
 
@@ -829,6 +848,7 @@ class ServingPool:
                     autotune_samples=summary["autotune_samples"],
                     plans_adopted=0,
                     backend_seconds=summary["backend_seconds"],
+                    phase_seconds=summary["phase_seconds"],
                     plan_cache=CacheStats(),
                     adjacency_cache=CacheStats(),
                 )
@@ -861,11 +881,14 @@ class ServingPool:
             worker.snapshot() for worker in self._workers
         ) or tuple(self._process_stats)
         backend_seconds: dict[str, float] = {}
+        phase_seconds: dict[str, float] = {}
         for worker in per_worker:
             for backend, seconds in worker.backend_seconds.items():
                 backend_seconds[backend] = (
                     backend_seconds.get(backend, 0.0) + seconds
                 )
+            for phase, seconds in worker.phase_seconds.items():
+                phase_seconds[phase] = phase_seconds.get(phase, 0.0) + seconds
         return PoolStats(
             workers=self.pool_config.workers,
             requests=sum(w.requests for w in per_worker),
@@ -875,6 +898,7 @@ class ServingPool:
             plans_published=self.plan_exchange.published,
             plans_adopted=self.plan_exchange.adopted,
             backend_seconds=backend_seconds,
+            phase_seconds=phase_seconds,
             per_worker=per_worker,
         )
 

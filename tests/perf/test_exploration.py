@@ -1,0 +1,164 @@
+"""Epsilon-greedy dispatch exploration: seeded, bounded, opt-in.
+
+The discovery half of the adaptive loop: with ``explore_epsilon > 0`` a
+fraction of plan-compile dispatch decisions execute a random viable
+backend so its measured timing lands in the table — backends the
+analytic model never favors become discoverable online.  The contract:
+never explores at epsilon 0, reproducible at a fixed seed, isolated
+from global random state, and silenced by ``explore=False``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gnn import make_batched_gin
+from repro.graph import induced_subgraphs
+from repro.graph.generators import planted_partition_graph
+from repro.partition import metis_like_partition
+from repro.plan.autotune import DispatchTable
+from repro.serving import CostModelDispatcher, InferenceEngine, ServingConfig
+from repro.tc.hardware import RTX3090
+
+#: A shape/bit mix whose decisions exercise several price points.
+SHAPES = [
+    (256, 256, 32, 1, 1),
+    (64, 64, 16, 4, 4),
+    (512, 128, 64, 2, 2),
+    (1024, 1024, 32, 1, 1),
+    (128, 32, 8, 8, 8),
+] * 8
+
+
+def decisions(dispatcher, *, explore=True):
+    return [
+        dispatcher.decide(m, k, n, a, b, explore=explore)
+        for m, k, n, a, b in SHAPES
+    ]
+
+
+class TestDispatcherContract:
+    def test_epsilon_zero_never_explores(self):
+        dispatcher = CostModelDispatcher(RTX3090)
+        assert all(not d.explored for d in decisions(dispatcher))
+        assert dispatcher.explored_decisions == 0
+
+    def test_epsilon_one_always_explores_viable(self):
+        dispatcher = CostModelDispatcher(RTX3090, explore_epsilon=1.0)
+        outcomes = decisions(dispatcher)
+        assert all(d.explored for d in outcomes)
+        assert dispatcher.explored_decisions == len(SHAPES)
+
+    def test_fixed_seed_reproduces_identical_decisions(self):
+        a = CostModelDispatcher(RTX3090, explore_epsilon=0.5, explore_seed=7)
+        b = CostModelDispatcher(RTX3090, explore_epsilon=0.5, explore_seed=7)
+        da, db = decisions(a), decisions(b)
+        assert [d.engine for d in da] == [d.engine for d in db]
+        assert [d.explored for d in da] == [d.explored for d in db]
+        assert any(d.explored for d in da)  # the seed does explore
+
+    def test_private_rng_isolated_from_global_random(self):
+        a = CostModelDispatcher(RTX3090, explore_epsilon=0.5, explore_seed=7)
+        picks_a = []
+        for m, k, n, ba, bb in SHAPES:
+            random.seed(0)  # global churn between decisions
+            random.random()
+            picks_a.append(a.decide(m, k, n, ba, bb).engine)
+        b = CostModelDispatcher(RTX3090, explore_epsilon=0.5, explore_seed=7)
+        assert picks_a == [d.engine for d in decisions(b)]
+
+    def test_explore_false_forces_the_tuned_answer(self):
+        dispatcher = CostModelDispatcher(RTX3090, explore_epsilon=1.0)
+        outcomes = decisions(dispatcher, explore=False)
+        assert all(not d.explored for d in outcomes)
+        assert dispatcher.explored_decisions == 0
+        # And it matches what a non-exploring dispatcher would answer.
+        reference = CostModelDispatcher(RTX3090)
+        assert [d.engine for d in outcomes] == [
+            d.engine for d in decisions(reference)
+        ]
+
+    def test_exploration_respects_vetoes(self):
+        # Every explored pick must still be a finite-priced candidate —
+        # a memory-vetoed blas never wins by lottery.
+        dispatcher = CostModelDispatcher(
+            RTX3090, blas_bytes_budget=1, explore_epsilon=1.0
+        )
+        for d in decisions(dispatcher):
+            assert d.engine != "blas"
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ConfigError):
+            CostModelDispatcher(RTX3090, explore_epsilon=1.5)
+        with pytest.raises(ConfigError):
+            ServingConfig(explore_epsilon=-0.1)
+
+
+class TestOnlineDiscovery:
+    @pytest.fixture
+    def subgraphs(self, rng):
+        g = planted_partition_graph(
+            192, 1200, num_communities=8, feature_dim=12, num_classes=3, rng=rng
+        )
+        return induced_subgraphs(g, metis_like_partition(g, 8))
+
+    @pytest.fixture
+    def model(self, subgraphs):
+        g = subgraphs[0].graph
+        return make_batched_gin(g.features.shape[1], 3, hidden_dim=16, seed=3)
+
+    def sampled_backends(self, table: DispatchTable) -> set:
+        return {
+            backend
+            for bucket in table.buckets()
+            for backend in table.backends(bucket)
+        }
+
+    def test_online_session_samples_unchosen_backend(self, model, subgraphs):
+        # Exploitation-only session: the table only ever sees the
+        # backends the cost model already favors.
+        exploit = InferenceEngine(
+            model, ServingConfig(feature_bits=8, batch_size=4)
+        )
+        exploit.infer(subgraphs)
+        exploited = self.sampled_backends(exploit.dispatch_table)
+        assert exploited  # timings did feed back
+
+        # Exploring session over the same workload: epsilon-greedy
+        # decisions execute (and therefore time) backends the pure
+        # cheapest-price policy never chose.
+        explore = InferenceEngine(
+            model,
+            ServingConfig(
+                feature_bits=8,
+                batch_size=4,
+                explore_epsilon=0.9,
+                explore_seed=11,
+            ),
+        )
+        explore.infer(subgraphs)
+        assert explore._engine.explored_decisions > 0
+        explored = self.sampled_backends(explore.dispatch_table)
+        assert explored - exploited, (
+            f"exploration added no new backend samples: {explored}"
+        )
+
+    def test_epsilon_zero_session_matches_default(self, model, subgraphs):
+        import numpy as np
+
+        base = InferenceEngine(
+            model, ServingConfig(feature_bits=8, batch_size=4)
+        )
+        off = InferenceEngine(
+            model,
+            ServingConfig(feature_bits=8, batch_size=4, explore_epsilon=0.0),
+            calibration=base.calibration,
+        )
+        want = base.infer(subgraphs)
+        got = off.infer(subgraphs)
+        assert off._engine.explored_decisions == 0
+        for a, b in zip(want, got):
+            assert np.array_equal(a.logits, b.logits)

@@ -1,11 +1,12 @@
 """A pydocstyle-style docstring check for the public serving/plan surface.
 
-The serving and plan packages are the repo's API: a pool operator meets
-them before any figure harness.  This check enforces, without external
-tooling, the slice of pydocstyle that matters for an operations surface:
+The serving, plan and perf packages are the repo's API: a pool operator
+meets them before any figure harness.  This check enforces, without
+external tooling, the slice of pydocstyle that matters for an operations
+surface:
 
-* every module in ``repro.serving`` / ``repro.plan`` has a module
-  docstring (D100-ish);
+* every module in ``repro.serving`` / ``repro.plan`` / ``repro.perf``
+  has a module docstring (D100-ish);
 * every public class, function, method and property defined in those
   modules has a docstring (D101/D102/D103-ish) — "public" meaning the
   name does not start with an underscore, dunders excluded;
@@ -24,10 +25,11 @@ import importlib
 import inspect
 import pkgutil
 
+import repro.perf
 import repro.plan
 import repro.serving
 
-CHECKED_PACKAGES = (repro.plan, repro.serving)
+CHECKED_PACKAGES = (repro.perf, repro.plan, repro.serving)
 
 #: Surfaces whose docstrings must carry a usage example.
 EXAMPLE_REQUIRED = {
