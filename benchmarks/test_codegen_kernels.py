@@ -1,0 +1,203 @@
+"""Codegen kernels: plan-specialized compiled GEMMs beat the generic engines.
+
+The tentpole claim of the LoopIR backend measured end to end.  The same
+16-member block-diagonal serving batch as ``test_sparse_skip`` is
+executed through three registered engines — dense ``packed``, the
+zero-tile-skipping ``sparse`` engine, and ``codegen`` (the census baked
+in as precomputed index lists, bit-plane loops unrolled, uint32 words
+widened to uint64) — on warm replay: the codegen kernel compiles once
+outside the measured window, the way a serving session amortizes it
+across plan replays.
+
+A mid-sparsity workload (census too dense for tile skipping to shine)
+is reported alongside, and the autotuner is asserted to route the
+block-diagonal aggregation bucket to ``codegen`` on measurements alone.
+
+Acceptance: bit-identical products everywhere, and codegen >= 1.3x the
+sparse engine's warm-replay median on the block-diagonal batch.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import numpy as np
+
+from repro.core.bitpack import pack_matrix, tile_nonzero_mask
+from repro.graph import induced_subgraphs, load_dataset
+from repro.graph.batching import SubgraphBatch
+from repro.partition import partition_graph
+from repro.plan import GemmSpec, autotune, bucket_for, default_registry
+from repro.serving.dispatch import CostModelDispatcher
+from repro.tc.kernel import BitGemmKernel, plan_tile_skip
+
+MEMBERS = 16
+FEATURE_BITS = 8
+FEATURE_DIM = 64
+#: Warm-replay passes per engine; best-of/median damps CI noise.
+PASSES = 3
+ENGINES = ("packed", "sparse", "codegen")
+#: Mid-sparsity control: random adjacency at this density leaves most
+#: tiles non-zero, the regime where skip specialization cannot win big.
+MID_DENSITY = 0.02
+MID_NODES = 512
+#: Autotuner bucket for the routing assertion (block-diagonal class).
+TUNE_SPEC = GemmSpec(m=512, k=512, n=32, bits_a=1, bits_b=2)
+TUNE_FRACTION = 0.25
+
+
+def _measure_engines(packed_adj, packed_x, plan) -> tuple[dict, dict, dict]:
+    """Warm-replay times per engine on one aggregation GEMM."""
+    kernel = BitGemmKernel()
+    times, all_times, outputs = {}, {}, {}
+    for engine in ENGINES:
+        # Warm-up pass outside the window: codegen compiles its kernel
+        # here exactly once; replays below are pure kernel-cache hits.
+        kernel.run(packed_adj, packed_x, engine=engine, plan=plan)
+        all_times[engine] = []
+        for _ in range(PASSES):
+            start = time.perf_counter()
+            outputs[engine] = kernel.run(
+                packed_adj, packed_x, engine=engine, plan=plan
+            ).output
+            all_times[engine].append(time.perf_counter() - start)
+        times[engine] = min(all_times[engine])
+    return times, all_times, outputs
+
+
+def run_codegen_kernels() -> dict:
+    rng = np.random.default_rng(0)
+
+    # Block-diagonal serving batch (the paper's zero-tile regime).
+    graph = load_dataset("PPI", scale=0.04)
+    result = partition_graph(graph, MEMBERS, method="metis")
+    subgraphs = induced_subgraphs(graph, result.assignment)
+    batch = SubgraphBatch(members=tuple(subgraphs))
+    packed_adj = batch.packed_adjacency(self_loops=True)
+    plan = plan_tile_skip(packed_adj)
+    feats = rng.integers(0, 1 << FEATURE_BITS, (batch.num_nodes, FEATURE_DIM))
+    packed_x = pack_matrix(feats, FEATURE_BITS, layout="row")
+    bd_times, bd_all, bd_out = _measure_engines(packed_adj, packed_x, plan)
+
+    # Mid-sparsity control: same pipeline on a census most of whose
+    # tiles survive the ballot.
+    adj = (rng.random((MID_NODES, MID_NODES)) < MID_DENSITY).astype(np.int64)
+    np.fill_diagonal(adj, 1)
+    packed_mid = pack_matrix(adj, 1, layout="col")
+    plan_mid = plan_tile_skip(packed_mid)
+    feats_mid = rng.integers(0, 1 << FEATURE_BITS, (MID_NODES, FEATURE_DIM))
+    packed_x_mid = pack_matrix(feats_mid, FEATURE_BITS, layout="row")
+    mid_times, mid_all, mid_out = _measure_engines(
+        packed_mid, packed_x_mid, plan_mid
+    )
+
+    # Routing: a tuned table (measurements only — codegen's analytic
+    # price is deliberately conservative) sends the block-diagonal
+    # aggregation bucket to the compiled kernels.
+    table = autotune([(TUNE_SPEC, TUNE_FRACTION)], passes=PASSES, seed=0)
+    dispatcher = CostModelDispatcher(table=table)
+    dispatcher.observe_tile_fraction(TUNE_FRACTION, nodes=TUNE_SPEC.m)
+    decision = dispatcher.decide(
+        TUNE_SPEC.m, TUNE_SPEC.k, TUNE_SPEC.n,
+        TUNE_SPEC.bits_a, TUNE_SPEC.bits_b,
+    )
+    bucket = bucket_for(TUNE_SPEC, TUNE_FRACTION)
+    tuned_medians = {
+        name: table.median(bucket, name)
+        for name in table.backends(bucket)
+        if table.median(bucket, name) is not None
+    }
+
+    def medians(all_times: dict) -> dict:
+        return {e: statistics.median(ts) for e, ts in all_times.items()}
+
+    return {
+        "nodes": batch.num_nodes,
+        "members": MEMBERS,
+        "nonzero_fraction": plan.nonzero_fraction,
+        "mid_nonzero_fraction": plan_mid.nonzero_fraction,
+        "block_diagonal": {
+            "best_s": bd_times,
+            "median_s": medians(bd_all),
+            "identical": bool(
+                np.array_equal(bd_out["codegen"], bd_out["packed"])
+                and np.array_equal(bd_out["codegen"], bd_out["sparse"])
+            ),
+        },
+        "mid_sparsity": {
+            "best_s": mid_times,
+            "median_s": medians(mid_all),
+            "identical": bool(
+                np.array_equal(mid_out["codegen"], mid_out["packed"])
+            ),
+        },
+        "routing": {
+            "engine": decision.engine,
+            "bucket": bucket.key(),
+            "tuned_medians": tuned_medians,
+        },
+        "registry": list(default_registry().names()),
+    }
+
+
+def format_codegen_kernels(r: dict) -> str:
+    bd, mid = r["block_diagonal"], r["mid_sparsity"]
+    lines = [
+        f"Codegen kernels: {r['members']}-member block-diagonal batch, "
+        f"{r['nodes']} nodes, {FEATURE_BITS}-bit features "
+        f"(nonzero fraction {r['nonzero_fraction']:.4f})",
+        f"{'engine':<10} {'block-diag ms':>14} {'mid-sparsity ms':>16}",
+    ]
+    for engine in ENGINES:
+        lines.append(
+            f"{engine:<10} {bd['median_s'][engine] * 1e3:>14.2f} "
+            f"{mid['median_s'][engine] * 1e3:>16.2f}"
+        )
+    lines.append(
+        f"codegen vs sparse: "
+        f"{bd['median_s']['sparse'] / bd['median_s']['codegen']:.2f}x "
+        f"(block-diag median)   bit-identical: {bd['identical']}"
+    )
+    lines.append(
+        f"tuned routing for {r['routing']['bucket']}: {r['routing']['engine']}"
+    )
+    return "\n".join(lines)
+
+
+def test_codegen_kernels(benchmark, once, report, bench_json):
+    r = once(benchmark, run_codegen_kernels)
+    report(benchmark, format_codegen_kernels(r))
+    bd = r["block_diagonal"]
+    speedup_median = bd["median_s"]["sparse"] / bd["median_s"]["codegen"]
+    speedup_best = bd["best_s"]["sparse"] / bd["best_s"]["codegen"]
+    benchmark.extra_info["speedup"] = speedup_median
+    bench_json(
+        "codegen",
+        {
+            "benchmark": "codegen_kernels",
+            "passes": PASSES,
+            "members": r["members"],
+            "nodes": r["nodes"],
+            "feature_bits": FEATURE_BITS,
+            "nonzero_fraction": r["nonzero_fraction"],
+            "mid_nonzero_fraction": r["mid_nonzero_fraction"],
+            "block_diagonal": bd,
+            "mid_sparsity": r["mid_sparsity"],
+            "speedup": {"best": speedup_best, "median": speedup_median},
+            "speedup_vs_packed": {
+                "median": bd["median_s"]["packed"] / bd["median_s"]["codegen"]
+            },
+            "routing": r["routing"],
+            "registry": r["registry"],
+        },
+    )
+
+    # Specialization must never change the bits.
+    assert bd["identical"]
+    assert r["mid_sparsity"]["identical"]
+    # Acceptance: fused pack+census+skip codegen beats the sparse engine
+    # by >= 1.3x warm-replay median on the block-diagonal workload.
+    assert speedup_median >= 1.3, f"codegen speedup only {speedup_median:.2f}x"
+    # Acceptance: the autotuner routes the bucket on measurements alone.
+    assert r["routing"]["engine"] == "codegen", r["routing"]

@@ -1,0 +1,61 @@
+"""Plan-specialized kernel generation: LoopIR → emitted numpy → callable.
+
+The ROADMAP's "Plan IR → generated kernels, Exo/SYS_ATL-style" item.
+Instead of dispatching every GEMM to a fully generic engine, a compiled
+:class:`~repro.plan.ir.ExecutionPlan` is lowered through a small
+schedulable loop IR (:mod:`repro.codegen.loopir`) into kernels
+specialized to that plan's bitwidths, padded shapes, and measured tile
+census — bit-plane loops unrolled to constants, pack+census fused into
+one pass, the :class:`~repro.tc.kernel.TileSkipPlan` baked in as
+precomputed nonzero-tile index lists.  Emission
+(:mod:`repro.codegen.emit`) is textual Python/numpy source compiled with
+``compile()``/``exec`` — zero new hard dependencies, optional numba JIT
+when importable — and compiled kernels live in the content-keyed
+``kernel`` segment shared with serving :class:`~repro.plan.cache.PlanCache`
+instances.  The whole pipeline is surfaced as the ``codegen`` entry of
+the standard backend registry, so dispatch, autotuning, exploration,
+plan exchange, and differential testing all sweep it with no special
+cases.
+"""
+
+from .backend import (
+    CompiledKernel,
+    codegen_backend,
+    fused_pack_adjacency,
+    gemm_kernel,
+    kernel_cache_segment,
+    prepare_plan_kernels,
+)
+from .emit import compile_program, maybe_jit, popcount64
+from .loopir import EMIT_VERSION, Block, Line, Loop, Program, substitute, unroll
+from .lower import (
+    LayerLowering,
+    lower_gemm,
+    lower_layer_plan,
+    lower_pack_census,
+    unroll_bit_planes,
+)
+
+__all__ = [
+    "EMIT_VERSION",
+    "Block",
+    "CompiledKernel",
+    "LayerLowering",
+    "Line",
+    "Loop",
+    "Program",
+    "codegen_backend",
+    "compile_program",
+    "fused_pack_adjacency",
+    "gemm_kernel",
+    "kernel_cache_segment",
+    "lower_gemm",
+    "lower_layer_plan",
+    "lower_pack_census",
+    "maybe_jit",
+    "popcount64",
+    "prepare_plan_kernels",
+    "substitute",
+    "unroll",
+    "unroll_bit_planes",
+]

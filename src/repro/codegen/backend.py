@@ -1,0 +1,338 @@
+"""The ``codegen`` backend: compiled kernels behind the standard registry.
+
+Glue between the LoopIR pipeline and the rest of the system:
+
+* a process-wide, thread-safe **kernel segment** —
+  :func:`kernel_cache_segment` — holding :class:`CompiledKernel` entries
+  under content keys (shape/bitwidth constants + the census digest +
+  emitter version).  Serving sessions mount this very segment as the
+  ``"kernel"`` kind of their :class:`~repro.plan.cache.PlanCache`, so
+  kernel hits/compiles appear in the same telemetry surface as packed
+  weights and compiled plans, and a second replay of the same plan
+  performs zero compiles;
+* :func:`_run_codegen`, the registered ``run_planes`` implementation:
+  lower-or-hit, then call the compiled kernel;
+* :func:`prepare_plan_kernels`, the serving engine's pre-execution hook
+  that compiles a plan's aggregation kernels ahead of the GEMM window
+  and reports ``plan_lower`` / ``kernel_compile`` seconds for the PAG;
+* :func:`fused_pack_adjacency`, the fused pack+census entry point used
+  by :func:`repro.gnn.quantized.pack_batch_adjacency`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..core.bitpack import TC_K, TC_M, PackedBits, pad_to, tile_nonzero_mask
+from ..core.bitops import WORD_BITS
+from ..errors import ShapeError
+from ..plan.cache import ThreadSafeLRUCache
+from ..plan.registry import Backend, BackendCaps, BackendPrice, PriceContext
+from ..tc.kernel import TileSkipPlan
+from .emit import compile_program
+from .loopir import EMIT_VERSION, Program
+from .lower import lower_gemm, lower_pack_census
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..plan.ir import ExecutionPlan
+
+__all__ = [
+    "CompiledKernel",
+    "codegen_backend",
+    "fused_pack_adjacency",
+    "gemm_kernel",
+    "kernel_cache_segment",
+    "prepare_plan_kernels",
+]
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """One compiled kernel: the program, its callable, and build costs."""
+
+    program: Program
+    fn: object
+    #: Program digest (source + env + emitter version) — the recompile
+    #: trigger the cache key carries.
+    digest: str
+    #: Seconds spent lowering (census grouping, IR construction).
+    lower_s: float
+    #: Seconds spent in ``compile()``/``exec``.
+    compile_s: float
+
+    @property
+    def nbytes(self) -> int:
+        """Cache-accounted bytes: rendered source plus baked constants."""
+        return len(self.program.source()) + sum(
+            np.asarray(v).nbytes for v in self.program.env.values()
+        )
+
+
+def _kernel_nbytes(value: object) -> int:
+    return int(getattr(value, "nbytes", 0) or 0)
+
+
+#: The process-wide kernel segment.  One segment per process — not per
+#: session — because a compiled kernel is pure (keyed by content, closed
+#: over nothing mutable) and compilation is the cost being amortized.
+_KERNEL_SEGMENT = ThreadSafeLRUCache(256, size_of=_kernel_nbytes)
+
+
+def kernel_cache_segment() -> ThreadSafeLRUCache:
+    """The shared ``"kernel"`` cache segment (mounted by serving sessions)."""
+    return _KERNEL_SEGMENT
+
+
+def _mask_digest(mask: np.ndarray) -> str:
+    arr = np.ascontiguousarray(np.asarray(mask, dtype=bool))
+    h = hashlib.blake2b(digest_size=8)
+    h.update(f"{arr.shape}".encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def _build_kernel(builder, jit: bool = False) -> CompiledKernel:
+    """Lower + compile, timing the two stages separately."""
+    t0 = time.perf_counter()
+    program = builder()
+    t1 = time.perf_counter()
+    fn = compile_program(program, jit=jit)
+    t2 = time.perf_counter()
+    return CompiledKernel(
+        program=program,
+        fn=fn,
+        digest=program.digest(),
+        lower_s=t1 - t0,
+        compile_s=t2 - t1,
+    )
+
+
+def gemm_kernel(
+    *,
+    m: int,
+    n: int,
+    bits_a: int,
+    bits_b: int,
+    a_padded_vectors: int,
+    a_k_words: int,
+    tile_mask: np.ndarray | None = None,
+) -> CompiledKernel:
+    """Fetch-or-compile the specialized kernel for one product shape.
+
+    The cache key is pure content: the baked shape/bitwidth constants,
+    the census digest (``"dense"`` when no census applies), and the
+    emitter version.  Same plan → same key → the compiled kernel is
+    reused with zero lowering work; a mutated census or bitwidth changes
+    the key and recompiles.
+    """
+    census = _mask_digest(tile_mask) if tile_mask is not None else "dense"
+    key = (
+        "kernel",
+        "gemm",
+        bits_a,
+        bits_b,
+        m,
+        n,
+        a_padded_vectors,
+        a_k_words,
+        census,
+        EMIT_VERSION,
+    )
+    return _KERNEL_SEGMENT.get_or_build(
+        key,
+        lambda: _build_kernel(
+            lambda: lower_gemm(
+                m=m,
+                n=n,
+                bits_a=bits_a,
+                bits_b=bits_b,
+                a_padded_vectors=a_padded_vectors,
+                a_k_words=a_k_words,
+                tile_mask=tile_mask,
+            )
+        ),
+    )
+
+
+# --------------------------------------------------------------------- #
+# The registered backend
+# --------------------------------------------------------------------- #
+def _run_codegen(
+    a_packed: PackedBits,
+    b_packed: PackedBits,
+    tile_masks: Sequence[np.ndarray] | None = None,
+) -> np.ndarray:
+    """Plane products through a plan-specialized compiled kernel.
+
+    1-bit left operands are executed through the skip-specialized kernel
+    of their census (supplied ``tile_masks`` or balloted here, exactly
+    like the ``sparse`` engine); wider operands take the dense unrolled
+    kernel, which is correct regardless of any census (it computes every
+    tile, and zero tiles contribute nothing).
+    """
+    mask = None
+    if a_packed.bits == 1:
+        mask = (
+            np.asarray(tile_masks[0])
+            if tile_masks is not None
+            else tile_nonzero_mask(a_packed.plane(0))
+        )
+        grid = (a_packed.padded_vectors // 8, a_packed.k_words // 4)
+        if mask.shape != grid:
+            raise ShapeError(
+                f"tile mask shape {mask.shape} does not match the "
+                f"{grid} tile grid of the plane"
+            )
+    kernel = gemm_kernel(
+        m=a_packed.logical_vectors,
+        n=b_packed.logical_vectors,
+        bits_a=a_packed.bits,
+        bits_b=b_packed.bits,
+        a_padded_vectors=a_packed.padded_vectors,
+        a_k_words=a_packed.k_words,
+        tile_mask=mask,
+    )
+    return kernel.fn(
+        np.ascontiguousarray(a_packed.words), np.ascontiguousarray(b_packed.words)
+    )
+
+
+#: Analytic-pricer constants of the codegen backend.  Deliberately
+#: conservative: the analytic estimate never undercuts the engine the
+#: kernel specializes (``sparse`` for censused products, ``packed`` for
+#: dense ones), so on a cold table the dispatcher keeps its historical
+#: choices and codegen is routed *only* when the autotuner's measured
+#: medians say it wins — the acceptance mode of this backend.
+CODEGEN_CALL_OVERHEAD_S = 80e-6
+CODEGEN_GROUP_OVERHEAD_S = 160e-6
+CODEGEN_PRICE_MARGIN = 1.05
+
+
+def _price_codegen(ctx: PriceContext) -> BackendPrice:
+    """Conservative analytic price (see the constants' docstring)."""
+    r, spec = ctx.rates, ctx.spec
+    fraction = ctx.tile_fraction
+    if spec.bits_a == 1 and fraction is not None:
+        groups = min(max(spec.m // 8, 1), math.ceil(1.0 / max(fraction, 1e-9)))
+        seconds = CODEGEN_PRICE_MARGIN * (
+            ctx.pairs * r.packed_pair_overhead_s
+            + ctx.flops * fraction / r.packed_flops
+            + groups * r.sparse_group_overhead_s
+        )
+        return BackendPrice(
+            seconds=seconds + CODEGEN_CALL_OVERHEAD_S, tile_fraction=fraction
+        )
+    seconds = CODEGEN_PRICE_MARGIN * (
+        ctx.pairs * r.packed_pair_overhead_s + ctx.flops / r.packed_flops
+    )
+    return BackendPrice(seconds=seconds + CODEGEN_CALL_OVERHEAD_S)
+
+
+def codegen_backend() -> Backend:
+    """A fresh instance of the ``codegen`` registry entry."""
+    return Backend(
+        name="codegen",
+        run_planes=_run_codegen,
+        caps=BackendCaps(
+            consumes_tile_masks=True,
+            summary="LoopIR-lowered kernels compiled per plan "
+            "(fused census, unrolled planes, baked skip loops)",
+        ),
+        pricer=_price_codegen,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Serving integration
+# --------------------------------------------------------------------- #
+def prepare_plan_kernels(plan: "ExecutionPlan", adjacency) -> tuple[float, float]:
+    """Compile a plan's codegen kernels ahead of its GEMM windows.
+
+    Walks the plan's steps and fetches-or-compiles the kernel of every
+    ``codegen``-dispatched product whose operand constants are known
+    before execution: censused aggregations specialize against
+    ``adjacency`` (a :class:`~repro.gnn.quantized.PackedAdjacency`), and
+    multi-bit updates take the dense kernel of their padded shape.
+    (1-bit *update* products census their packed activations at run
+    time, so their kernels compile lazily inside the GEMM window.)
+
+    Returns ``(lower_seconds, compile_seconds)`` summed over the fresh
+    builds only — a fully warmed plan reports ``(0.0, 0.0)`` because
+    every fetch is a kernel-segment hit.
+    """
+    lower_s = 0.0
+    compile_s = 0.0
+    before = _KERNEL_SEGMENT.stats.insertions
+    kernels: list[CompiledKernel] = []
+    for step in plan.gemm_steps():
+        if step.backend != "codegen":
+            continue
+        spec = step.spec
+        if spec.role == "aggregate" and spec.bits_a == 1:
+            kernels.append(
+                gemm_kernel(
+                    m=spec.m,
+                    n=spec.n,
+                    bits_a=spec.bits_a,
+                    bits_b=spec.bits_b,
+                    a_padded_vectors=adjacency.packed.padded_vectors,
+                    a_k_words=adjacency.packed.k_words,
+                    tile_mask=adjacency.plan.masks[0],
+                )
+            )
+        elif spec.bits_a > 1:
+            kernels.append(
+                gemm_kernel(
+                    m=spec.m,
+                    n=spec.n,
+                    bits_a=spec.bits_a,
+                    bits_b=spec.bits_b,
+                    a_padded_vectors=pad_to(max(spec.m, 1), TC_M),
+                    a_k_words=pad_to(max(spec.k, 1), TC_K) // WORD_BITS,
+                )
+            )
+    if _KERNEL_SEGMENT.stats.insertions > before:
+        # Only fresh builds charge compile phases; hits replay for free.
+        lower_s = sum(k.lower_s for k in kernels)
+        compile_s = sum(k.compile_s for k in kernels)
+    return lower_s, compile_s
+
+
+# --------------------------------------------------------------------- #
+# Fused pack + census entry point
+# --------------------------------------------------------------------- #
+def fused_pack_adjacency(
+    adjacency: np.ndarray,
+) -> tuple[PackedBits, TileSkipPlan, np.ndarray]:
+    """Pack a 0/1 adjacency, ballot its tiles and sum degrees in one pass.
+
+    The compiled form of ``pack_matrix(adj, 1, "col")`` +
+    ``plan_tile_skip`` + the degree reduction, bit-identical to the
+    unfused pipeline (same ``packbits``/word-view/tile-OR operations,
+    same padding rule) but executed as one emitted function per
+    adjacency shape, cached in the kernel segment.
+    """
+    arr = np.asarray(adjacency)
+    if arr.ndim != 2:
+        raise ShapeError(f"adjacency must be 2-D, got shape {arr.shape}")
+    m, k = arr.shape
+    key = ("kernel", "pack_census", m, k, EMIT_VERSION)
+    kernel = _KERNEL_SEGMENT.get_or_build(
+        key, lambda: _build_kernel(lambda: lower_pack_census(m, k))
+    )
+    words, mask, degrees = kernel.fn(arr)
+    packed = PackedBits(
+        words=words,
+        bits=1,
+        layout="col",
+        logical_vectors=m,
+        logical_k=k,
+        pad_vectors=TC_M,
+    )
+    return packed, TileSkipPlan(masks=(mask,)), degrees

@@ -1,0 +1,91 @@
+"""Compile lowered :class:`~repro.codegen.loopir.Program`\\ s into callables.
+
+Emission is textual Python/numpy source run through ``compile()`` +
+``exec`` — zero new hard dependencies.  Namespace hygiene is part of the
+contract: every program executes into a *fresh* dict seeded with exactly
+the names it needs (``np``, the popcount primitives, its own ``env``
+constants), never into this module's globals, so compiling a thousand
+kernels leaks nothing and two kernels can never observe each other's
+constants.
+
+The optional numba path: when numba is importable, :func:`maybe_jit`
+attempts an ``njit`` compile of the emitted function and transparently
+falls back to the plain callable on *any* numba failure (these kernels
+lean on fancy indexing and ``np.bitwise_count``, which older numba
+releases reject).  When numba is absent — the normal case for this repo's
+pinned environment — the plain compiled function is used and nothing is
+imported.  The policy is documented in ``docs/CODEGEN.md``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bitops import popcount
+from ..errors import ConfigError
+from .loopir import Program
+
+__all__ = ["compile_program", "maybe_jit", "popcount64"]
+
+
+if hasattr(np, "bitwise_count"):
+
+    def popcount64(words: np.ndarray) -> np.ndarray:
+        """Per-element population count of uint64 words (hardware popcnt)."""
+        return np.bitwise_count(words)
+
+else:  # pragma: no cover - numpy >= 2.0 always has bitwise_count
+
+    def popcount64(words: np.ndarray) -> np.ndarray:
+        """Per-element population count of uint64 words (uint32 fallback)."""
+        halves = np.ascontiguousarray(words).view(np.uint32)
+        return (
+            popcount(halves[..., 0::2]).astype(np.uint8)
+            + popcount(halves[..., 1::2]).astype(np.uint8)
+        )
+
+
+def compile_program(program: Program, *, jit: bool = False):
+    """Compile a program's rendered source into a callable.
+
+    The source is compiled with a synthetic filename carrying the
+    program's digest (so tracebacks name the exact kernel) and executed
+    into a fresh namespace — module globals are never touched.  With
+    ``jit=True`` the result is additionally offered to numba via
+    :func:`maybe_jit`.
+    """
+    source = program.source()
+    digest = program.digest()
+    namespace: dict[str, object] = {
+        "np": np,
+        "popcount": popcount,
+        "popcount64": popcount64,
+    }
+    for key, value in program.env.items():
+        namespace[key] = value
+    code = compile(source, f"<codegen:{program.name}:{digest[:12]}>", "exec")
+    exec(code, namespace)  # noqa: S102 - the source is generated, not user input
+    fn = namespace.get(program.name)
+    if not callable(fn):
+        raise ConfigError(
+            f"program {program.name!r} did not define a callable of its own name"
+        )
+    return maybe_jit(fn) if jit else fn
+
+
+def maybe_jit(fn):
+    """Wrap ``fn`` with numba's ``njit`` when numba is importable and the
+    compile succeeds; otherwise return ``fn`` unchanged.
+
+    Never raises: a missing numba, an unsupported construct, or any other
+    numba-side failure all silently keep the plain-numpy callable — the
+    JIT is an opportunistic acceleration, not a dependency.
+    """
+    try:  # pragma: no cover - numba absent from the pinned environment
+        import numba
+    except Exception:
+        return fn
+    try:  # pragma: no cover - exercised only where numba is installed
+        return numba.njit(cache=False)(fn)
+    except Exception:
+        return fn

@@ -257,14 +257,19 @@ class PackedAdjacency:
 
 def pack_batch_adjacency(batch: SubgraphBatch) -> PackedAdjacency:
     """Densify, bit-pack and tile-census one batch's adjacency (with self
-    loops) — the per-batch analogue of :func:`pack_layer_weight`."""
+    loops) — the per-batch analogue of :func:`pack_layer_weight`.
+
+    Packing, census, and degree reduction run as one fused compiled pass
+    (:func:`repro.codegen.fused_pack_adjacency`) instead of three
+    separate walks over the densified matrix; the result is bit-identical
+    to the unfused ``pack_matrix`` + ``plan_tile_skip`` + row-sum
+    pipeline, which the codegen differential tests assert.
+    """
+    from ..codegen import fused_pack_adjacency
+
     adjacency = batch.dense_adjacency(self_loops=True).astype(np.int64)
-    packed = pack_matrix(adjacency, 1, layout="col")
-    return PackedAdjacency(
-        packed=packed,
-        plan=plan_tile_skip(packed),
-        degrees=adjacency.sum(axis=1, dtype=np.float64)[:, None],
-    )
+    packed, plan, degrees = fused_pack_adjacency(adjacency)
+    return PackedAdjacency(packed=packed, plan=plan, degrees=degrees)
 
 
 class ActivationCalibration:

@@ -52,6 +52,7 @@ CURATED_METRICS: dict[str, tuple[str, ...]] = {
     "autotune": ("speedup.median",),
     "pool": ("speedup.median",),
     "latency": ("overload_p99_cut", "overload_throughput_ratio"),
+    "codegen": ("speedup.median",),
 }
 
 

@@ -270,6 +270,12 @@ class PlanCache:
     capacity given for the same name.
     """
 
+    #: Every artifact kind the system produces.  Segment names are
+    #: validated against this set at construction: a typo'd kind used to
+    #: silently create an empty LRU that nothing would ever read, hiding
+    #: the misconfiguration until cache hit rates cratered.
+    KNOWN_KINDS = frozenset({"weight", "adjacency", "plan", "table", "kernel"})
+
     def __init__(
         self,
         capacities: Mapping[str, int],
@@ -281,6 +287,12 @@ class PlanCache:
         ``shared`` pre-built segments over their kind names."""
         if not capacities and not shared:
             raise ConfigError("a plan cache needs at least one artifact kind")
+        for kind in (*capacities, *(shared or ())):
+            if str(kind) not in self.KNOWN_KINDS:
+                raise ConfigError(
+                    f"unknown artifact kind {kind!r}; known kinds: "
+                    f"{tuple(sorted(self.KNOWN_KINDS))}"
+                )
         self._segments: dict[str, LRUCache] = {
             str(kind): LRUCache(capacity, size_of=size_of)
             for kind, capacity in capacities.items()

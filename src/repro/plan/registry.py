@@ -275,12 +275,22 @@ _default_registry: BackendRegistry | None = None
 
 
 def default_registry() -> BackendRegistry:
-    """The process-wide registry, created with the built-in backends."""
+    """The process-wide registry: built-in backends plus extensions.
+
+    Extensions (``codegen``, ``csr`` when scipy is installed,
+    ``tensorcore8``) register after the built-ins, so registration-order
+    tie-breaking always prefers the classic engines and every identity
+    built on the registry — :func:`registry_digest`, plan exchange,
+    stale-plan invalidation — covers the full set with no special cases.
+    """
     global _default_registry
     if _default_registry is None:
-        from .backends import builtin_backends
+        from .backends import builtin_backends, extension_backends
 
-        _default_registry = BackendRegistry(builtin_backends())
+        registry = BackendRegistry(builtin_backends())
+        for backend in extension_backends():
+            registry.register(backend)
+        _default_registry = registry
     return _default_registry
 
 

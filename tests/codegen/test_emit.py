@@ -1,0 +1,85 @@
+"""Emission tests: namespace hygiene, env binding, the popcount primitive."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.codegen.emit as emit_module
+from repro.codegen import Line, Program, compile_program, maybe_jit, popcount64
+from repro.errors import ConfigError
+
+
+class TestNamespaceHygiene:
+    def test_compiled_kernels_never_touch_module_globals(self):
+        # The exec-compiled kernel audit: compiling many programs (each
+        # with its own env constants) must leave the emit module's global
+        # namespace byte-for-byte unchanged — no kernel, helper, or env
+        # name may leak.
+        before = set(vars(emit_module))
+        for i in range(5):
+            program = Program(
+                name=f"leaky_{i}",
+                args=("x",),
+                body=(Line(f"return x + offset_{i}"),),
+                env={f"offset_{i}": np.array([i])},
+            )
+            fn = compile_program(program)
+            assert fn(np.array([10]))[0] == 10 + i
+        assert set(vars(emit_module)) == before
+
+    def test_kernels_do_not_observe_each_other(self):
+        first = compile_program(
+            Program(name="k", args=(), body=(Line("return c"),),
+                    env={"c": np.array([1])})
+        )
+        second = compile_program(
+            Program(name="k", args=(), body=(Line("return c"),),
+                    env={"c": np.array([2])})
+        )
+        assert first()[0] == 1  # not stomped by the second compile
+        assert second()[0] == 2
+
+    def test_traceback_filename_names_the_kernel(self):
+        program = Program(name="boom", args=(), body=(Line("return 1 / 0"),))
+        fn = compile_program(program)
+        with pytest.raises(ZeroDivisionError) as info:
+            fn()
+        assert f"<codegen:boom:{program.digest()[:12]}>" in str(
+            info.traceback[-1].path
+        )
+
+    def test_rejects_source_that_defines_no_callable(self):
+        class Broken(Program):
+            def source(self):
+                return "k = 1\n"
+
+        with pytest.raises(ConfigError):
+            compile_program(Broken(name="k", args=(), body=()))
+
+
+class TestPopcount64:
+    def test_matches_python_bit_count(self, rng):
+        words = rng.integers(0, 2**63, size=64, dtype=np.uint64)
+        got = popcount64(words)
+        assert [int(w).bit_count() for w in words] == list(got.astype(int))
+
+    def test_extremes(self):
+        words = np.array([0, 2**64 - 1], dtype=np.uint64)
+        assert list(popcount64(words).astype(int)) == [0, 64]
+
+
+class TestMaybeJit:
+    def test_returns_plain_function_without_numba(self):
+        # numba is deliberately absent from the pinned environment; the
+        # guard must hand the plain callable back, never raise.
+        def fn(x):
+            return x + 1
+
+        wrapped = maybe_jit(fn)
+        assert wrapped(1) == 2
+
+    def test_jit_flag_on_compile_program_is_safe(self):
+        program = Program(name="k", args=("x",), body=(Line("return x * 2"),))
+        fn = compile_program(program, jit=True)
+        assert fn(21) == 42

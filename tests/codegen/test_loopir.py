@@ -1,0 +1,109 @@
+"""LoopIR structural tests: rendering, digests, substitution, unrolling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codegen import Block, Line, Loop, Program, substitute, unroll
+from repro.errors import ConfigError
+
+
+def _program(**overrides) -> Program:
+    fields = dict(
+        name="k",
+        args=("a", "b"),
+        body=(
+            Loop("i", 2, (Line("out[i] = a[i] + b[i]"),), axis="plane"),
+            Line("return out"),
+        ),
+    )
+    fields.update(overrides)
+    return Program(**fields)
+
+
+class TestRendering:
+    def test_renders_function_with_loop(self):
+        src = _program().source()
+        assert src.startswith("def k(a, b):\n")
+        assert "    for i in range(2):\n" in src
+        assert "        out[i] = a[i] + b[i]" in src
+        assert src.rstrip().endswith("return out")
+
+    def test_empty_body_renders_pass(self):
+        src = Program(name="k", args=(), body=()).source()
+        assert src == "def k():\n    pass\n"
+
+    def test_runtime_loop_count_renders_range_arguments(self):
+        src = _program(
+            body=(Loop("r", "0, hi, 8", (Line("x = r"),)),)
+        ).source()
+        assert "for r in range(0, hi, 8):" in src
+
+    def test_block_renders_label_comment(self):
+        src = _program(body=(Block("group 0", (Line("x = 1"),)),)).source()
+        assert "    # group 0\n" in src
+
+    def test_rejects_bad_identifiers(self):
+        with pytest.raises(ConfigError):
+            _program(name="not a name")
+        with pytest.raises(ConfigError):
+            _program(env={"not a name": np.zeros(1)})
+
+    def test_loops_iterates_nest_outermost_first(self):
+        inner = Loop("j", 3, (Line("x = j"),))
+        prog = _program(body=(Loop("i", 2, (inner,), axis="plane"),))
+        assert [loop.var for loop in prog.loops()] == ["i", "j"]
+
+
+class TestDigest:
+    def test_digest_is_stable(self):
+        assert _program().digest() == _program().digest()
+
+    def test_digest_changes_with_source(self):
+        assert _program().digest() != _program(name="k2").digest()
+
+    def test_digest_changes_with_env_bytes(self):
+        a = _program(env={"rows": np.array([1, 2])})
+        b = _program(env={"rows": np.array([1, 3])})
+        assert a.digest() != b.digest()
+
+    def test_digest_changes_with_env_dtype(self):
+        a = _program(env={"rows": np.array([1, 2], dtype=np.int32)})
+        b = _program(env={"rows": np.array([1, 2], dtype=np.int64)})
+        assert a.digest() != b.digest()
+
+
+class TestSubstitute:
+    def test_replaces_whole_words_only(self):
+        (line,) = substitute((Line("xi = x + xx + x_i"),), "x", 7)
+        assert line.code == "xi = 7 + xx + x_i"
+
+    def test_recurses_into_blocks_and_loops(self):
+        stmts = (Block("g", (Loop("j", "n", (Line("y = x"),)),)),)
+        (block,) = substitute(stmts, "x", 3)
+        (loop,) = block.body
+        assert loop.body[0].code == "y = 3"
+
+    def test_substitutes_runtime_loop_counts(self):
+        (loop,) = substitute((Loop("r", "0, hi, 8", (Line("z = r"),)),), "hi", 40)
+        assert loop.count == "0, 40, 8"
+
+    def test_shadowing_inner_loop_is_left_alone(self):
+        inner = Loop("i", 2, (Line("y = i"),))
+        (loop,) = substitute((inner,), "i", 9)
+        assert loop is inner
+
+
+class TestUnroll:
+    def test_unroll_instantiates_every_iteration(self):
+        loop = Loop("p", 3, (Line("acc[p] = src[p]"),), axis="plane")
+        block = unroll(loop)
+        rendered = Program(name="k", args=(), body=(block,)).source()
+        for p in range(3):
+            assert f"acc[{p}] = src[{p}]" in rendered
+        assert "for p" not in rendered
+
+    def test_unroll_rejects_runtime_counts(self):
+        with pytest.raises(ConfigError):
+            unroll(Loop("r", "0, n", (Line("x = r"),)))

@@ -47,8 +47,21 @@ def _reference_backend(name: str = "reference") -> Backend:
 
 
 class TestRegistry:
-    def test_default_registry_holds_builtins_in_order(self):
-        assert default_registry().names() == ("packed", "blas", "sparse", "einsum")
+    def test_default_registry_holds_builtins_then_extensions(self):
+        names = default_registry().names()
+        # Built-ins first (registration order breaks price ties in their
+        # favor), then the extension backends; ``csr`` appears exactly
+        # when scipy is importable.
+        assert names[:4] == ("packed", "blas", "sparse", "einsum")
+        expected = ["codegen"]
+        try:
+            import scipy.sparse  # noqa: F401
+        except ImportError:
+            pass
+        else:
+            expected.append("csr")
+        expected.append("tensorcore8")
+        assert names[4:] == tuple(expected)
 
     def test_get_unknown_raises_with_known_names(self):
         registry = BackendRegistry(builtin_backends())

@@ -158,7 +158,14 @@ class TestHostRates:
 
     def test_prices_expose_every_backend(self):
         decision = CostModelDispatcher().decide(256, 128, 64, 2, 4)
-        assert set(decision.prices) == {"packed", "blas", "sparse", "einsum"}
+        # Every priceable registered backend appears — built-ins plus the
+        # codegen/tensorcore8 extensions (csr prices itself out of 2-bit
+        # products entirely, and sparse is inf without a census, but both
+        # still report).
+        assert {"packed", "blas", "sparse", "einsum", "codegen"} <= set(
+            decision.prices
+        )
+        assert decision.prices["tensorcore8"].vetoed  # modeled, never routed
         assert decision.prices["packed"].seconds == decision.packed_s
         assert decision.prices["blas"].bytes == decision.blas_bytes
         assert decision.prices["blas"].vetoed == decision.memory_vetoed

@@ -19,6 +19,7 @@ from repro.graph import batch_subgraphs, induced_subgraphs
 from repro.graph.batching import SubgraphBatch
 from repro.graph.generators import planted_partition_graph
 from repro.partition import metis_like_partition
+from repro.plan import default_registry
 from repro.serving import InferenceEngine, ServingConfig
 
 
@@ -268,9 +269,9 @@ class TestPlanCache:
         assert engine.stats.plan_cache.hits >= 1
         assert plan.signature.num_nodes == batch.num_nodes
         registered = set(engine.plan_artifacts.kinds())
-        assert registered == {"weight", "adjacency", "plan", "table"}
+        assert registered == {"weight", "adjacency", "plan", "table", "kernel"}
         for step in plan.gemm_steps():
-            assert step.backend in ("packed", "blas", "sparse", "einsum")
+            assert step.backend in default_registry().names()
         # The plan's weight nodes carry the session's cache keys.
         assert plan.layers[0].update.pack_b.cache_key == engine._weight_key(0)
 
@@ -305,7 +306,7 @@ class TestPlanCache:
         )
         engine.infer(subgraphs)
         telemetry = engine.cache_telemetry()
-        assert set(telemetry) == {"weight", "adjacency", "plan", "table"}
+        assert set(telemetry) == {"weight", "adjacency", "plan", "table", "kernel"}
         total = engine.plan_artifacts.total_stats()
         assert total.lookups == sum(t.lookups for t in telemetry.values())
         assert engine.plan_artifacts.nbytes >= engine.adjacency_cache.nbytes

@@ -25,11 +25,12 @@ import importlib
 import inspect
 import pkgutil
 
+import repro.codegen
 import repro.perf
 import repro.plan
 import repro.serving
 
-CHECKED_PACKAGES = (repro.perf, repro.plan, repro.serving)
+CHECKED_PACKAGES = (repro.codegen, repro.perf, repro.plan, repro.serving)
 
 #: Surfaces whose docstrings must carry a usage example.
 EXAMPLE_REQUIRED = {
