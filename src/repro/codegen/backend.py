@@ -32,7 +32,7 @@ import numpy as np
 from ..core.bitpack import TC_K, TC_M, PackedBits, pad_to, tile_nonzero_mask
 from ..core.bitops import WORD_BITS
 from ..errors import ShapeError
-from ..plan.cache import ThreadSafeLRUCache
+from ..plan.cache import ThreadSafeLRUCache, artifact_digest
 from ..plan.registry import Backend, BackendCaps, BackendPrice, PriceContext
 from ..tc.kernel import TileSkipPlan
 from .emit import compile_program
@@ -81,7 +81,11 @@ def _kernel_nbytes(value: object) -> int:
 #: The process-wide kernel segment.  One segment per process — not per
 #: session — because a compiled kernel is pure (keyed by content, closed
 #: over nothing mutable) and compilation is the cost being amortized.
-_KERNEL_SEGMENT = ThreadSafeLRUCache(256, size_of=_kernel_nbytes)
+#: Verified: every hit re-checks the kernel's program digest, so a
+#: poisoned entry is discarded and recompiled instead of replayed.
+_KERNEL_SEGMENT = ThreadSafeLRUCache(
+    256, size_of=_kernel_nbytes, digest_of=artifact_digest
+)
 
 
 def kernel_cache_segment() -> ThreadSafeLRUCache:

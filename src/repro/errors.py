@@ -3,6 +3,27 @@
 All library-raised errors derive from :class:`QGTCError` so callers can
 catch everything produced by ``repro`` with a single ``except`` clause while
 still being able to distinguish configuration mistakes from shape mismatches.
+
+Retryable vs. fatal
+-------------------
+
+The serving layer splits failures along one axis: *would the same request
+succeed if tried again?*
+
+* :class:`RetryableError` — transient conditions (queue pressure, a worker
+  thread dying mid-batch, an injected fault).  The gateway's bounded-retry
+  loop and the per-step backend fallback in
+  ``repro.serving.supervision`` re-attempt these.
+* :class:`FatalError` — conditions retrying cannot fix.  The deterministic
+  validation errors (:class:`ShapeError`, :class:`BitwidthError`,
+  :class:`PackingError`, :class:`ConfigError`, :class:`DeviceError`,
+  :class:`PartitionError`) behave the same way: the request itself is
+  malformed, so they are surfaced immediately without retry.
+
+:func:`is_retryable` encodes the policy in one place.  Exceptions from
+*outside* this hierarchy (a miscompiled kernel raising ``IndexError``,
+say) are treated as retryable — the failure may be specific to one
+backend, and the fallback chain exists exactly for that case.
 """
 
 from __future__ import annotations
@@ -49,7 +70,27 @@ class ConfigError(QGTCError, ValueError):
     """A model / runtime configuration object failed validation."""
 
 
-class PoolSaturated(QGTCError, RuntimeError):
+class RetryableError(QGTCError, RuntimeError):
+    """A transient serving failure: the same request may succeed if retried.
+
+    The gateway's bounded-retry loop catches this family (with exponential
+    backoff + jitter) and the per-step recovery in
+    ``repro.serving.supervision`` retries the failing GEMM on a fallback
+    backend.  Subclass this for failure modes that a retry can plausibly
+    clear; use :class:`FatalError` for ones it cannot.
+    """
+
+
+class FatalError(QGTCError, RuntimeError):
+    """A failure retrying cannot fix; surfaced immediately, never retried.
+
+    Use this for invariant violations discovered at serving time — e.g. a
+    cache artifact whose digest cannot be re-derived, or an exhausted
+    fallback chain whose root cause was deterministic.
+    """
+
+
+class PoolSaturated(RetryableError):
     """The serving layer refused a request because capacity is exhausted.
 
     Raised by non-blocking pool intake when a shard queue is full and by
@@ -57,4 +98,50 @@ class PoolSaturated(QGTCError, RuntimeError):
     timeout — the fast-fail alternative to blocking an open-loop caller
     behind an unbounded backlog.  Catch it to shed load (retry later,
     degrade, or route elsewhere); it signals pressure, not a bug.
+
+    Although nominally retryable, the gateway deliberately does *not*
+    auto-retry saturation: shedding must stay a fast-fail so open-loop
+    callers apply their own backpressure policy.
     """
+
+
+class WorkerDied(RetryableError):
+    """A pool worker thread crashed outside per-request handling.
+
+    With supervision enabled the pool respawns the worker and re-queues
+    its in-flight requests, so callers normally never see this.  With
+    supervision disabled (``PoolConfig(supervise=False)``) every future
+    stranded on the dead worker's queue fails with ``WorkerDied`` — the
+    diagnostic alternative to blocking forever — and later submissions
+    routed to that shard fail fast the same way.
+    """
+
+
+class InjectedFault(RetryableError):
+    """A deterministic fault raised by ``repro.faultinject``.
+
+    Never raised in production configurations: a :class:`~repro.faultinject.FaultPlan`
+    must be explicitly threaded into the engine/pool/gateway for this to
+    fire.  It is retryable by design, so injected failures exercise the
+    same recovery paths a real transient failure would.
+    """
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Return ``True`` when ``exc`` may clear on retry (see module docs).
+
+    Policy: :class:`FatalError` and the deterministic ``ValueError``-family
+    validation errors are not retryable; :class:`RetryableError` and any
+    exception from outside the :class:`QGTCError` hierarchy are.  Control
+    flow exceptions (``KeyboardInterrupt``, ``SystemExit``, and other
+    non-``Exception`` ``BaseException`` subclasses) are never retried.
+    """
+    if not isinstance(exc, Exception):
+        return False
+    if isinstance(exc, FatalError):
+        return False
+    if isinstance(exc, RetryableError):
+        return True
+    if isinstance(exc, QGTCError) and isinstance(exc, ValueError):
+        return False  # deterministic validation failure: retry cannot help
+    return True

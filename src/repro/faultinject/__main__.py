@@ -1,0 +1,45 @@
+"""Command-line entry: ``python -m repro.faultinject <command>``.
+
+One command:
+
+``selftest``
+    Serve a seeded workload through a supervised pool + retrying gateway
+    with every injection site armed, and assert that each site is
+    reachable, fires exactly as seeded, and leaves every request served
+    bit-identically to a fault-free engine.  Exits nonzero on any
+    violation — the CI docs job runs this as the fault-injection smoke.
+
+Example::
+
+    python -m repro.faultinject selftest
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from . import SITES, selftest
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to one command; returns exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faultinject",
+        description="deterministic fault-injection smoke checks",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser(
+        "selftest",
+        help="assert every injection site is reachable and seeded-deterministic",
+    )
+    parser.parse_args(argv)
+    snapshot = selftest()
+    for site in SITES:
+        counts = snapshot[site]
+        print(f"{site:<10} probes={counts['probes']:<5} fires={counts['fires']}")
+    print("faultinject selftest: all sites reachable, fires seeded, logits bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

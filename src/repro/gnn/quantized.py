@@ -108,7 +108,11 @@ class PhaseTiming:
     session's measured wall-clock to named plan-step phases.  ``gemm``
     phases reuse the exact elapsed value of the corresponding
     :class:`StepTiming`, so backend attribution and phase attribution
-    never disagree about the kernel seconds.
+    never disagree about the kernel seconds.  (The one exception: when a
+    step recovered on a fallback backend, the ``gemm`` phase covers the
+    whole attempt window while the :class:`StepTiming` sample covers only
+    the winning attempt — failed attempts must not bias the winner's
+    autotune cell.)
     """
 
     #: Phase name: ``materialize``, ``quantize``, ``pack``, ``census``,
@@ -145,12 +149,18 @@ class QuantizedForwardResult:
     logits: np.ndarray
     counters: list[KernelCounters]
     #: One measured per-GEMM timing per executed plan step, in execution
-    #: order (parallel to ``counters``).
+    #: order (parallel to ``counters``).  When a step recovered on a
+    #: fallback backend, ``backend`` names the backend that actually
+    #: executed, not the one the plan chose.
     timings: tuple[StepTiming, ...] = ()
     #: Full phase attribution of the pass's wall-clock (quantize / pack /
     #: census / gemm / epilogue / ... — see :class:`PhaseTiming`); empty
     #: for paths that do not collect phases.
     phases: tuple[PhaseTiming, ...] = ()
+    #: One ``(step role, failed backend, executed backend)`` triple per
+    #: failed GEMM attempt that a fallback recovered (see
+    #: ``repro.serving.supervision``); empty on a fault-free pass.
+    recoveries: tuple[tuple[str, str, str], ...] = ()
 
     @property
     def total_counters(self) -> KernelCounters:
@@ -320,6 +330,43 @@ def quantize_model_weights(
     return [quantize(w, bits=bits) for w in model.weights]
 
 
+def _dispatch_gemm(
+    kernel: BitGemmKernel,
+    a,
+    b,
+    *,
+    engine: Engine,
+    plan,
+    registry,
+    recovery,
+    spec: GemmSpec | None,
+    role: str,
+):
+    # One plan step's GEMM dispatch, optionally wrapped in per-step
+    # fallback recovery.  Returns (result, executed backend, recovery
+    # triples, seconds of the winning attempt).  The winning-attempt
+    # window keeps autotune samples unbiased by failed attempts.
+    if recovery is None or not isinstance(engine, str):
+        start = time.perf_counter()
+        res = kernel.run(a, b, engine=engine, plan=plan, registry=registry)
+        return res, engine, (), time.perf_counter() - start
+
+    win: dict[str, float] = {}
+
+    def attempt(name: str):
+        start = time.perf_counter()
+        out = kernel.run(a, b, engine=name, plan=plan, registry=registry)
+        win["s"] = time.perf_counter() - start
+        return out
+
+    bits_a = spec.bits_a if spec is not None else 1
+    res, executed, failed = recovery.run(
+        attempt, engine, bits_a=bits_a, detail=role
+    )
+    triples = tuple((role, name, executed) for name in failed)
+    return res, executed, triples, win["s"]
+
+
 def _affine_product(
     q_left: np.ndarray,
     p_left: QuantParams,
@@ -332,6 +379,8 @@ def _affine_product(
     spec: GemmSpec | None = None,
     phases: list[PhaseTiming] | None = None,
     layer: int = -1,
+    recovery=None,
+    recoveries: list[tuple[str, str, str]] | None = None,
 ) -> np.ndarray:
     """Full affine-corrected product of a quantized matrix and a packed weight."""
     k = q_left.shape[1]
@@ -353,12 +402,19 @@ def _affine_product(
         else None
     )
     census_at = time.perf_counter()
-    res = kernel.run(
-        packed_l, weight.packed, engine=engine, plan=plan, registry=registry
+    res, executed, recovered, win_s = _dispatch_gemm(
+        kernel, packed_l, weight.packed, engine=engine, plan=plan,
+        registry=registry, recovery=recovery, spec=spec,
+        role=f"update/L{layer}",
     )
     gemm_s = time.perf_counter() - census_at
-    if timings is not None and spec is not None and isinstance(engine, str):
-        timings.append(StepTiming(spec, engine, gemm_s))
+    if timings is not None and spec is not None and isinstance(executed, str):
+        # Fault-free steps reuse the phase window exactly (backend and
+        # phase attribution must agree); recovered steps report only the
+        # winning attempt so failures never bias the autotune sample.
+        timings.append(StepTiming(spec, executed, win_s if recovered else gemm_s))
+    if recoveries is not None and recovered:
+        recoveries.extend(recovered)
     counters.append(res.counters)
     epilogue_at = time.perf_counter()
     s_l, c_l = p_left.scale, _mid_offset(p_left)
@@ -394,12 +450,20 @@ def execute_forward_plan(
     kernel_config: KernelConfig | None = None,
     apply_softmax: bool = False,
     registry=None,
+    recovery=None,
 ) -> QuantizedForwardResult:
     """Replay a compiled :class:`~repro.plan.ir.ExecutionPlan` on one batch.
 
     ``registry`` resolves the plan's backend names against a non-default
     :class:`~repro.plan.registry.BackendRegistry` — pass the same registry
     the plan was compiled with.
+
+    ``recovery`` (a ``repro.serving.supervision.StepRecovery``-shaped
+    object, duck-typed to keep this module serving-agnostic) retries a
+    GEMM step whose backend raised a retryable error on that backend's
+    fallback chain; every engine is bit-identical to the oracle, so a
+    recovered step changes cost, never logits.  Recovered steps are
+    reported in :attr:`QuantizedForwardResult.recoveries`.
 
     Request-invariant operands hang off the plan's pack/census nodes: when
     an ``artifacts`` cache is supplied, each node's artifact (a
@@ -428,6 +492,7 @@ def execute_forward_plan(
     counters: list[KernelCounters] = []
     timings: list[StepTiming] = []
     phases: list[PhaseTiming] = []
+    recoveries: list[tuple[str, str, str]] = []
 
     def resolve(key, builder):
         if artifacts is not None and key is not None:
@@ -489,12 +554,16 @@ def execute_forward_plan(
         quantized_at = time.perf_counter()
         packed_x = pack_matrix(qx, step.quantize_b.bits, layout="row")
         packed_at = time.perf_counter()
-        res = kernel.run(
-            packed_adj, packed_x, engine=step.backend, plan=adj_plan,
-            registry=registry,
+        res, executed, recovered, win_s = _dispatch_gemm(
+            kernel, packed_adj, packed_x, engine=step.backend, plan=adj_plan,
+            registry=registry, recovery=recovery, spec=step.spec,
+            role=f"aggregate/L{layer}",
         )
         gemm_s = time.perf_counter() - packed_at
-        timings.append(StepTiming(step.spec, step.backend, gemm_s))
+        timings.append(
+            StepTiming(step.spec, executed, win_s if recovered else gemm_s)
+        )
+        recoveries.extend(recovered)
         counters.append(res.counters)
         # Â is exact binary: real = s_x * (Â q_x) + c_x * degree.
         epilogue_at = time.perf_counter()
@@ -523,7 +592,8 @@ def execute_forward_plan(
         out = _affine_product(
             qx, px, packed_weights[layer], kernel, counters, step.backend,
             registry=registry, timings=timings, spec=step.spec,
-            phases=phases, layer=layer,
+            phases=phases, layer=layer, recovery=recovery,
+            recoveries=recoveries,
         )
         start = time.perf_counter()
         out = out + model.biases[layer]
@@ -563,7 +633,7 @@ def execute_forward_plan(
         )
     return QuantizedForwardResult(
         logits=logits, counters=counters, timings=tuple(timings),
-        phases=tuple(phases),
+        phases=tuple(phases), recoveries=tuple(recoveries),
     )
 
 

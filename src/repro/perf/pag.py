@@ -200,6 +200,7 @@ def _segment_node(name: str, stats: CacheStats, capacity: int | None) -> PagNode
         "evictions": stats.evictions,
         "insertions": stats.insertions,
         "invalidations": stats.invalidations,
+        "poisoned": stats.poisoned,
         "hit_rate": stats.hit_rate,
     }
     if capacity is not None:
@@ -246,7 +247,10 @@ def _from_engine(engine: InferenceEngine) -> Pag:
         phase_seconds=stats.phase_seconds,
         backend_seconds=stats.backend_seconds,
         segments=segments,
-        extra={"plans_invalidated": stats.plans_invalidated},
+        extra={
+            "plans_invalidated": stats.plans_invalidated,
+            "step_retries": stats.step_retries,
+        },
     )
     root = PagNode(
         kind="root",
@@ -275,6 +279,11 @@ def _from_pool_stats(
             "table_merges": stats.table_merges,
             "plans_published": stats.plans_published,
             "plans_adopted": stats.plans_adopted,
+            "step_retries": stats.step_retries,
+            "quarantines": stats.quarantines,
+            "respawns": stats.respawns,
+            "requeued": stats.requeued,
+            "poisoned_discards": stats.poisoned_discards,
         },
     )
     attributed = 0.0
@@ -282,6 +291,7 @@ def _from_pool_stats(
         extra = {
             "autotune_samples": worker.autotune_samples,
             "plans_adopted": worker.plans_adopted,
+            "step_retries": worker.step_retries,
         }
         if queue_depths is not None and i < len(queue_depths):
             extra["queue_depth"] = queue_depths[i]
@@ -336,6 +346,8 @@ def _attach_gateway(pag: Pag, gateway: GatewayStats) -> Pag:
                 "hedges_launched": gateway.hedges_launched,
                 "hedges_won": gateway.hedges_won,
                 "in_flight": gateway.in_flight,
+                "retries": gateway.retries,
+                "failures": gateway.failures,
                 "rejection_rate": gateway.rejection_rate,
             },
         )
@@ -351,6 +363,8 @@ def _attach_gateway(pag: Pag, gateway: GatewayStats) -> Pag:
                     "submitted": lane.submitted,
                     "completed": lane.completed,
                     "rejected": lane.rejected,
+                    "retries": lane.retries,
+                    "failures": lane.failures,
                     "latency_p50_s": lane.latency_p50_s,
                     "latency_p99_s": lane.latency_p99_s,
                     "has_latency": lane.has_latency,

@@ -53,6 +53,7 @@ CURATED_METRICS: dict[str, tuple[str, ...]] = {
     "pool": ("speedup.median",),
     "latency": ("overload_p99_cut", "overload_throughput_ratio"),
     "codegen": ("speedup.median",),
+    "chaos": ("throughput_ratio",),
 }
 
 

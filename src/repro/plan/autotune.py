@@ -29,7 +29,10 @@ kernel depends on the workload.  Here the guess becomes a measurement:
   digest, so a restarted service dispatches from measurements made by the
   previous session — from request one, with zero warm-up timing runs.  A
   table recorded on a different host or against a different backend set
-  silently degrades to the analytic model rather than mis-pricing.
+  degrades to the analytic model rather than mis-pricing — loudly: the
+  degrade emits a ``RuntimeWarning`` and is counted on the returned
+  table (``degraded_loads``), so a fleet that keeps shipping stale
+  tables notices instead of silently re-tuning from scratch forever.
 """
 
 from __future__ import annotations
@@ -39,6 +42,7 @@ import math
 import platform
 import statistics
 import threading
+import warnings
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
@@ -269,6 +273,9 @@ class DispatchTable:
         self.generation = 0
         #: Why :meth:`load` returned an empty table, when it did.
         self.mismatch: str | None = None
+        #: 1 when this table is the empty product of a degraded
+        #: :meth:`load` (telemetry surfaces the sum across loads).
+        self.degraded_loads = 0
         self._entries: dict[ShapeBucket, dict[str, BucketTiming]] = {}
         # Serializes recording/merging/serialization so a pool worker can
         # snapshot or merge a table that another worker is feeding samples
@@ -517,7 +524,10 @@ class DispatchTable:
         A mismatch (different machine, different backend set, unknown
         schema version, unreadable file) returns an *empty* table whose
         ``mismatch`` attribute says why — every price then falls back to
-        the analytic model, which is always safe.  ``strict=True`` raises
+        the analytic model, which is always safe — and emits a
+        ``RuntimeWarning`` with the reason, with ``degraded_loads`` set
+        on the returned table, so the degrade is observable instead of
+        indistinguishable from a fresh table.  ``strict=True`` raises
         :class:`~repro.errors.ConfigError` instead.
         """
         expect_host = host or host_fingerprint()
@@ -528,8 +538,15 @@ class DispatchTable:
         def degrade(reason: str) -> "DispatchTable":
             if strict:
                 raise ConfigError(f"cannot load dispatch table {path}: {reason}")
+            warnings.warn(
+                f"dispatch table {path} ignored: {reason} — pricing falls "
+                "back to the analytic model",
+                RuntimeWarning,
+                stacklevel=3,
+            )
             table = cls(host=expect_host, registry_id=expect_registry)
             table.mismatch = reason
+            table.degraded_loads = 1
             return table
 
         try:

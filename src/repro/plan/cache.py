@@ -17,10 +17,19 @@ whose first element names its *kind*.  Kinds occupy separate LRU
 segments with independent capacities — so a burst of never-repeating
 batches cannot evict the small, hot packed weights — but share one lookup
 API, one byte accounting and one aggregated telemetry view.
+
+Compiled artifacts (the ``plan`` and ``kernel`` kinds) additionally carry
+**digest verification**: each insert records a content digest
+(:func:`artifact_digest`) and each hit re-derives and compares it.  A
+mismatch means the entry was corrupted after insertion; the poisoned
+entry is discarded (counted in ``CacheStats.poisoned``), the lookup
+reports a miss, and the cache-through caller recompiles — corruption
+costs one rebuild, never a wrong result replayed forever.
 """
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -34,6 +43,7 @@ __all__ = [
     "PlanCache",
     "PlanKey",
     "ThreadSafeLRUCache",
+    "artifact_digest",
     "artifact_nbytes",
 ]
 
@@ -57,6 +67,10 @@ class CacheStats:
     #: Entries dropped by policy (:meth:`LRUCache.discard` — e.g. the
     #: stale-plan invalidation path), as opposed to capacity evictions.
     invalidations: int = 0
+    #: Entries discarded because their recorded digest no longer matched
+    #: the stored value on a hit (verified segments only).  Each poisoned
+    #: discard also counts as a miss: the caller rebuilds the artifact.
+    poisoned: int = 0
 
     @property
     def lookups(self) -> int:
@@ -78,6 +92,7 @@ class CacheStats:
             self.evictions,
             self.insertions,
             self.invalidations,
+            self.poisoned,
         )
 
     def merge(self, other: "CacheStats") -> "CacheStats":
@@ -87,6 +102,7 @@ class CacheStats:
         self.evictions += other.evictions
         self.insertions += other.insertions
         self.invalidations += other.invalidations
+        self.poisoned += other.poisoned
         return self
 
 
@@ -97,18 +113,36 @@ class LRUCache(Generic[K, V]):
     recency; insertion beyond capacity evicts the least recently used
     entry.  Optionally tracks the byte footprint of held values via
     ``size_of`` (e.g. ``PackedLayerWeight.nbytes``).
+
+    With ``digest_of`` set, the cache is *verified*: every ``put``
+    records ``digest_of(value)`` and every hit re-derives and compares
+    it.  A mismatch discards the poisoned entry (``stats.poisoned``) and
+    reports a miss so cache-through callers rebuild.  ``fault_plan``
+    optionally threads a :class:`~repro.faultinject.FaultPlan` whose
+    ``cache`` site corrupts the recorded digest on a probed hit —
+    exercising the real discard-and-recompile path deterministically.
     """
 
     def __init__(
-        self, capacity: int, *, size_of: Callable[[V], int] | None = None
+        self,
+        capacity: int,
+        *,
+        size_of: Callable[[V], int] | None = None,
+        digest_of: Callable[[V], str] | None = None,
+        fault_plan=None,
     ) -> None:
         if capacity < 1:
             raise ConfigError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.stats = CacheStats()
         self._size_of = size_of
+        self._digest_of = digest_of
+        self._fault_plan = fault_plan
         self._bytes = 0
         self._entries: OrderedDict[K, V] = OrderedDict()
+        #: Recorded content digests, parallel to ``_entries`` (verified
+        #: caches only).
+        self._digests: dict[K, str] = {}
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -129,14 +163,54 @@ class LRUCache(Generic[K, V]):
 
     # ------------------------------------------------------------------ #
     def get(self, key: K) -> V | None:
-        """Return the cached value and mark it most recently used."""
+        """Return the cached value and mark it most recently used.
+
+        On a verified cache a hit whose re-derived digest no longer
+        matches the recorded one is *poisoned*: the entry is discarded,
+        ``stats.poisoned`` is bumped, and the lookup reports a miss so
+        the caller rebuilds the artifact.
+        """
         value = self._entries.get(key)
         if value is None:
             self.stats.misses += 1
             return None
+        if self._digest_of is not None:
+            recorded = self._digests.get(key)
+            if (
+                recorded is not None
+                and self._fault_plan is not None
+                and self._fault_plan.probe("cache", detail=repr(key))
+            ):
+                recorded = "!injected-corruption"  # simulated artifact rot
+            if recorded is not None and recorded != self._digest_of(value):
+                self._drop_poisoned(key, value)
+                return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
         return value
+
+    def _drop_poisoned(self, key: K, value: V) -> None:
+        """Remove a digest-mismatched entry; counts poisoned + miss."""
+        self._entries.pop(key, None)
+        self._digests.pop(key, None)
+        self._bytes -= self._size_of(value) if self._size_of else 0
+        self.stats.poisoned += 1
+        self.stats.misses += 1
+
+    def corrupt(self, key: K) -> bool:
+        """Flip the recorded digest of one entry (tests / chaos drills).
+
+        Simulates artifact rot on a verified cache: the next ``get`` of
+        ``key`` will detect the mismatch, discard the entry and rebuild.
+        Returns whether the key was held.  Raises
+        :class:`~repro.errors.ConfigError` on an unverified cache.
+        """
+        if self._digest_of is None:
+            raise ConfigError("corrupt() needs a cache built with digest_of")
+        if key not in self._digests:
+            return False
+        self._digests[key] = "corrupt:" + self._digests[key]
+        return True
 
     def peek(self, key: K) -> V | None:
         """Return the cached value *without* counting a lookup or
@@ -155,6 +229,7 @@ class LRUCache(Generic[K, V]):
         value = self._entries.pop(key, None)
         if value is None:
             return False
+        self._digests.pop(key, None)
         self._bytes -= self._size_of(value) if self._size_of else 0
         self.stats.invalidations += 1
         return True
@@ -166,9 +241,12 @@ class LRUCache(Generic[K, V]):
             self._bytes -= self._size_of(old) if self._size_of else 0
         self._entries[key] = value
         self._bytes += self._size_of(value) if self._size_of else 0
+        if self._digest_of is not None:
+            self._digests[key] = self._digest_of(value)
         self.stats.insertions += 1
         while len(self._entries) > self.capacity:
-            _, evicted = self._entries.popitem(last=False)
+            evicted_key, evicted = self._entries.popitem(last=False)
+            self._digests.pop(evicted_key, None)
             self._bytes -= self._size_of(evicted) if self._size_of else 0
             self.stats.evictions += 1
 
@@ -183,6 +261,7 @@ class LRUCache(Generic[K, V]):
     def clear(self) -> None:
         """Drop all entries (stats are preserved — they describe history)."""
         self._entries.clear()
+        self._digests.clear()
         self._bytes = 0
 
 
@@ -199,10 +278,17 @@ class ThreadSafeLRUCache(LRUCache[K, V]):
     """
 
     def __init__(
-        self, capacity: int, *, size_of: Callable[[V], int] | None = None
+        self,
+        capacity: int,
+        *,
+        size_of: Callable[[V], int] | None = None,
+        digest_of: Callable[[V], str] | None = None,
+        fault_plan=None,
     ) -> None:
         """Create the cache; parameters match :class:`LRUCache`."""
-        super().__init__(capacity, size_of=size_of)
+        super().__init__(
+            capacity, size_of=size_of, digest_of=digest_of, fault_plan=fault_plan
+        )
         self._lock = threading.RLock()
 
     def get(self, key: K) -> V | None:
@@ -241,6 +327,11 @@ class ThreadSafeLRUCache(LRUCache[K, V]):
         with self._lock:
             super().clear()
 
+    def corrupt(self, key: K) -> bool:
+        """Thread-safe :meth:`LRUCache.corrupt`."""
+        with self._lock:
+            return super().corrupt(key)
+
 
 def artifact_nbytes(value: object) -> int:
     """Byte footprint a :class:`PlanCache` budgets for an artifact.
@@ -249,6 +340,21 @@ def artifact_nbytes(value: object) -> int:
     plans are a handful of frozen dataclasses) count as zero.
     """
     return int(getattr(value, "nbytes", 0))
+
+
+def artifact_digest(value: object) -> str:
+    """The content digest recorded (and re-derived) by verified segments.
+
+    Artifacts that carry their own content digest (compiled kernels
+    expose ``.digest`` — the hash of the emitted program) use it
+    directly; everything else (compiled plans: frozen metadata
+    dataclasses) digests its ``repr``, which is deterministic for an
+    unmutated object and changes when any field is tampered with.
+    """
+    own = getattr(value, "digest", None)
+    if isinstance(own, str) and own:
+        return own
+    return hashlib.blake2b(repr(value).encode(), digest_size=16).hexdigest()
 
 
 class PlanCache:
@@ -276,15 +382,24 @@ class PlanCache:
     #: the misconfiguration until cache hit rates cratered.
     KNOWN_KINDS = frozenset({"weight", "adjacency", "plan", "table", "kernel"})
 
+    #: Kinds holding *compiled* artifacts, whose segments verify a
+    #: recorded :func:`artifact_digest` on every hit and discard poisoned
+    #: entries (counted in ``CacheStats.poisoned``) so corruption costs a
+    #: recompile, never a wrong replay.
+    VERIFIED_KINDS = frozenset({"plan", "kernel"})
+
     def __init__(
         self,
         capacities: Mapping[str, int],
         *,
         size_of: Callable[[object], int] = artifact_nbytes,
         shared: Mapping[str, LRUCache] | None = None,
+        fault_plan=None,
     ) -> None:
         """Build one LRU segment per ``capacities`` entry, then mount any
-        ``shared`` pre-built segments over their kind names."""
+        ``shared`` pre-built segments over their kind names.
+        ``fault_plan`` threads a :class:`~repro.faultinject.FaultPlan`
+        into the verified segments' ``cache`` injection site."""
         if not capacities and not shared:
             raise ConfigError("a plan cache needs at least one artifact kind")
         for kind in (*capacities, *(shared or ())):
@@ -294,7 +409,18 @@ class PlanCache:
                     f"{tuple(sorted(self.KNOWN_KINDS))}"
                 )
         self._segments: dict[str, LRUCache] = {
-            str(kind): LRUCache(capacity, size_of=size_of)
+            str(kind): LRUCache(
+                capacity,
+                size_of=size_of,
+                digest_of=(
+                    artifact_digest
+                    if str(kind) in self.VERIFIED_KINDS
+                    else None
+                ),
+                fault_plan=(
+                    fault_plan if str(kind) in self.VERIFIED_KINDS else None
+                ),
+            )
             for kind, capacity in capacities.items()
         }
         # Explicit None check: an *empty* shared mapping is falsy, and a

@@ -32,6 +32,18 @@ fast-fail backpressure (:class:`~repro.errors.PoolSaturated`), priority
 lanes, queue-depth-aware shard routing, and optional request hedging
 for p99 control.  Everything above this layer speaks ``Subgraph in,
 logits out``, and everything below it is described by plan nodes.
+
+Failure is a first-class input (:mod:`repro.serving.supervision`, with
+:mod:`repro.faultinject` as the matching injection half): a
+:class:`~repro.serving.supervision.BackendHealth` circuit breaker
+quarantines backends that keep failing (vetoed in dispatch, probed
+half-open after a cooldown),
+:class:`~repro.serving.supervision.StepRecovery` retries a failed GEMM
+step on the fallback backend bit-identically, the pool supervises its
+workers (dead shard threads are respawned and their in-flight requests
+re-queued), verified cache segments discard poisoned entries on read,
+and the gateway adds bounded seeded-backoff retries on top.  See
+``docs/RELIABILITY.md``.
 """
 
 from .cache import (
@@ -68,9 +80,11 @@ from .pool import (
     ServingPool,
     WorkerStats,
 )
+from .supervision import BackendHealth, StepRecovery, fallback_chain
 
 __all__ = [
     "AdjacencyCacheKey",
+    "BackendHealth",
     "CacheStats",
     "CostModelDispatcher",
     "DispatchDecision",
@@ -94,7 +108,9 @@ __all__ = [
     "ServingPool",
     "SessionStats",
     "StalePlan",
+    "StepRecovery",
     "WeightCacheKey",
     "WorkerStats",
+    "fallback_chain",
     "route_shard",
 ]

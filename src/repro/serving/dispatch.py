@@ -146,6 +146,7 @@ class CostModelDispatcher:
         table: DispatchTable | None = None,
         explore_epsilon: float = 0.0,
         explore_seed: int = 0,
+        health=None,
     ) -> None:
         if blas_bytes_budget < 1:
             raise ConfigError(
@@ -182,6 +183,13 @@ class CostModelDispatcher:
         self.explore_epsilon = explore_epsilon
         #: Exploration decisions taken so far (telemetry).
         self.explored_decisions = 0
+        #: Optional ``repro.serving.supervision.BackendHealth`` breaker:
+        #: quarantined backends are dropped from the candidate set (a
+        #: health veto, outranking prices like every other veto) unless
+        #: *every* candidate is quarantined — dispatch always answers.
+        self.health = health
+        #: Decisions that dropped at least one quarantined candidate.
+        self.health_vetoed_decisions = 0
         # Private seeded RNG: exploration must be reproducible at a fixed
         # seed and must not perturb (or be perturbed by) the global
         # random/numpy state the rest of the stack uses.
@@ -292,7 +300,22 @@ class CostModelDispatcher:
                 f"no priceable backend registered for a "
                 f"{bits_a}x{bits_b}-bit {m}x{k}x{n} product"
             )
-        engine = min(prices.items(), key=lambda kv: kv[1].effective_s)[0]
+        # Health veto: quarantined backends leave the candidate set (but
+        # stay in the reported prices).  If the breaker has everything
+        # open, fall back to the full set — dispatch must always answer,
+        # and the half-open probe path re-admits backends soon after.
+        candidates = prices
+        if self.health is not None:
+            healthy = {
+                name: price
+                for name, price in prices.items()
+                if not self.health.vetoed(name)
+            }
+            if healthy and len(healthy) < len(prices):
+                self.health_vetoed_decisions += 1
+            if healthy:
+                candidates = healthy
+        engine = min(candidates.items(), key=lambda kv: kv[1].effective_s)[0]
         explored = False
         if (
             explore
@@ -301,7 +324,7 @@ class CostModelDispatcher:
         ):
             viable = [
                 name
-                for name, price in prices.items()
+                for name, price in candidates.items()
                 if math.isfinite(price.effective_s)
             ]
             if viable:

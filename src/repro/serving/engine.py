@@ -99,6 +99,7 @@ from ..tc.costmodel import TCCostModel
 from ..tc.hardware import RTX3090, DeviceSpec
 from ..tc.kernel import KernelConfig
 from .dispatch import CostModelDispatcher
+from .supervision import StepRecovery
 
 __all__ = [
     "ServingConfig",
@@ -306,6 +307,10 @@ class SessionStats:
     #: (:meth:`InferenceEngine.invalidate_stale_plans`); each recompiles
     #: on its next replay with bit-identical logits.
     plans_invalidated: int = 0
+    #: GEMM-step attempts that failed and were recovered on a fallback
+    #: backend (``repro.serving.supervision.StepRecovery``) — each one a
+    #: served request that a single-backend engine would have dropped.
+    step_retries: int = 0
     #: Per-kind telemetry windows onto the session's unified plan cache.
     weight_cache: CacheStats = field(default_factory=CacheStats)
     adjacency_cache: CacheStats = field(default_factory=CacheStats)
@@ -380,6 +385,8 @@ class InferenceEngine:
         shared_segments: dict[str, LRUCache] | None = None,
         plan_exchange=None,
         label: str = "",
+        health=None,
+        fault_plan=None,
     ) -> None:
         """Create a session over ``model`` with policy ``config``.
 
@@ -393,6 +400,14 @@ class InferenceEngine:
         compiling and published to after (see
         :class:`~repro.serving.pool.PlanExchange`), and ``label`` names
         this session in pool telemetry and the modeled device report.
+
+        ``health`` shares a
+        :class:`~repro.serving.supervision.BackendHealth` circuit breaker
+        across sessions: it records per-backend step outcomes and vetoes
+        quarantined backends in cost-model dispatch.  ``fault_plan``
+        threads a :class:`~repro.faultinject.FaultPlan` into this
+        session's ``kernel``, ``compile`` and ``cache`` injection sites
+        (``None``, the default, injects nothing).
         """
         self.model = model
         self.config = config or ServingConfig()
@@ -405,6 +420,12 @@ class InferenceEngine:
         )
         self.label = label
         self._plan_exchange = plan_exchange
+        #: Shared per-backend circuit breaker (``None`` outside a pool
+        #: unless the caller supplies one).
+        self.health = health
+        #: The session's fault-injection schedule (``None`` = no-op).
+        self.fault_plan = fault_plan
+        self._recovery = StepRecovery(health=health, fault_plan=fault_plan)
         #: The session's unified plan cache: packed weights, packed
         #: adjacencies + tile masks, and compiled forward plans, each kind
         #: in its own LRU segment under content-derived keys.
@@ -420,6 +441,7 @@ class InferenceEngine:
                 "table": 1,
             },
             shared=self._with_kernel_segment(shared_segments),
+            fault_plan=fault_plan,
         )
         self._engine: Engine
         if self.config.engine == "cost":
@@ -428,6 +450,7 @@ class InferenceEngine:
                 table=self._resolve_dispatch_table(),
                 explore_epsilon=self.config.explore_epsilon,
                 explore_seed=self.config.explore_seed,
+                health=health,
             )
         else:
             self._engine = self.config.engine
@@ -673,6 +696,11 @@ class InferenceEngine:
     def _compile_plan(
         self, batch: SubgraphBatch, adjacency: PackedAdjacency
     ) -> ExecutionPlan:
+        if self.fault_plan is not None:
+            # Injected compile failure: aborts this request with a
+            # retryable error before any plan state is cached, so the
+            # gateway's bounded retry replays it cleanly.
+            self.fault_plan.maybe_raise("compile", detail=self.label)
         if isinstance(self._engine, CostModelDispatcher):
             # Hand the dispatcher this batch's measured census so the plan's
             # frozen dispatch decisions are priced from observation.
@@ -906,7 +934,9 @@ class InferenceEngine:
             calibration=self.calibration,
             kernel_config=self.config.kernel,
             apply_softmax=self.config.apply_softmax,
+            recovery=self._recovery,
         )
+        self.stats.step_retries += len(forward.recoveries)
         elapsed = time.perf_counter() - start
         self.stats.wall_s += elapsed
         self.stats.recent_round_seconds.append(elapsed)

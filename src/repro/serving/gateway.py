@@ -30,6 +30,14 @@ pool into something an open-loop client can face:
   shard and the first completion wins.  The duplicate's work is wasted
   by design (the p99-vs-throughput trade); results are bit-identical
   either way, so hedging is purely a latency decision.
+* **bounded retry** — with ``max_retries`` set, a request whose
+  dispatch fails with a *retryable* error (a worker death, an injected
+  fault — see :func:`repro.errors.is_retryable`) is re-dispatched after
+  a seeded, jittered exponential backoff, up to the bound.  Saturation
+  (:class:`~repro.errors.PoolSaturated`) is deliberately **not**
+  retried: shedding only works if shed load actually leaves.
+  Deterministic validation errors are never retried either — every
+  attempt would fail identically.
 
 Every decision above chooses *where* and *when* a request executes,
 never *what* it computes: under a shared frozen
@@ -55,6 +63,7 @@ from __future__ import annotations
 
 import asyncio
 import math
+import random
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -62,7 +71,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..errors import ConfigError, PoolSaturated
+from ..errors import ConfigError, PoolSaturated, is_retryable
 from ..graph.batching import Subgraph
 from .pool import PoolResult, ServingPool
 
@@ -121,6 +130,20 @@ class GatewayConfig:
     #: than this many requests deeper than the shallowest shard's;
     #: ``None`` pins every request to its home shard.
     imbalance_threshold: int | None = 8
+    #: Re-dispatch a request whose dispatch failed retryably (see
+    #: :func:`repro.errors.is_retryable`) up to this many times; ``0``
+    #: (the default) surfaces the first failure.  Saturation is never
+    #: retried regardless.
+    max_retries: int = 0
+    #: Base backoff before retry attempt ``n`` (delay grows as
+    #: ``retry_backoff_s * 2**(n-1)``, plus jitter).
+    retry_backoff_s: float = 0.005
+    #: Jitter fraction: each backoff is stretched by up to this fraction,
+    #: drawn from a private PRNG seeded with ``retry_seed`` — so retry
+    #: storms decorrelate but a rerun of the same traffic backs off
+    #: identically.
+    retry_jitter: float = 0.25
+    retry_seed: int = 0
 
     def __post_init__(self) -> None:
         """Validate every knob (fail construction, not the first request)."""
@@ -153,6 +176,16 @@ class GatewayConfig:
                 "imbalance_threshold must be >= 1 or None, got "
                 f"{self.imbalance_threshold}"
             )
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        for name in ("retry_backoff_s", "retry_jitter"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0:
+                raise ConfigError(
+                    f"{name} must be finite and >= 0, got {value}"
+                )
 
     @property
     def effective_interactive_reserve(self) -> int:
@@ -223,6 +256,11 @@ class LaneStats:
     #: distribution, and 0.0 would read as a perfect one).
     latency_p50_s: float
     latency_p99_s: float
+    #: Dispatch attempts re-issued after a retryable failure.
+    retries: int = 0
+    #: Requests that ultimately failed (retries exhausted, or the error
+    #: was not retryable) — excludes shed (``rejected``) requests.
+    failures: int = 0
 
     @property
     def has_latency(self) -> bool:
@@ -243,6 +281,10 @@ class GatewayStats:
     hedges_won: int
     #: Requests currently past the admission gate.
     in_flight: int
+    #: Dispatch attempts re-issued after a retryable failure, gateway-wide.
+    retries: int = 0
+    #: Requests that ultimately failed (excludes shed requests).
+    failures: int = 0
     per_lane: dict[str, LaneStats] = field(default_factory=dict)
 
     @property
@@ -258,6 +300,8 @@ class _LaneState:
     submitted: int = 0
     completed: int = 0
     rejected: int = 0
+    retries: int = 0
+    failures: int = 0
     #: Admission waiters, FIFO within the lane.
     waiters: deque = field(default_factory=deque)
     #: Recent completion latencies (bounded ring).
@@ -314,6 +358,9 @@ class ServingGateway:
         self._hedges_launched = 0
         self._hedges_won = 0
         self._seq = 0
+        # Private PRNG: retry jitter must not perturb (or be perturbed
+        # by) anyone else's use of the global random state.
+        self._retry_rng = random.Random(self.config.retry_seed)
 
     # ------------------------------------------------------------------ #
     # Admission gate
@@ -421,6 +468,12 @@ class ServingGateway:
         :class:`~repro.errors.PoolSaturated` when the request cannot be
         admitted within ``queue_timeout_s`` (or its shard queue is full)
         — fast-fail backpressure, the caller's cue to shed load.
+
+        A dispatch that fails with a retryable error is re-dispatched up
+        to ``max_retries`` times (backoff + jitter between attempts),
+        holding its admission slot throughout — a retrying request is
+        still load.  Saturation and non-retryable errors surface
+        immediately.
         """
         if lane not in LANES:
             raise ConfigError(f"lane must be one of {LANES}, got {lane!r}")
@@ -436,9 +489,26 @@ class ServingGateway:
         try:
             await self._acquire(lane)
             try:
-                settled, rerouted, hedged, hedge_won = await self._dispatch(
-                    subgraph, lane, deadline_s
-                )
+                attempt = 0
+                while True:
+                    try:
+                        settled, rerouted, hedged, hedge_won = (
+                            await self._dispatch(subgraph, lane, deadline_s)
+                        )
+                        break
+                    except PoolSaturated:
+                        # Shedding, not failure: retrying shed load would
+                        # defeat the backpressure it exists to apply.
+                        raise
+                    except Exception as exc:
+                        if attempt >= self.config.max_retries or not (
+                            is_retryable(exc)
+                        ):
+                            state.failures += 1
+                            raise
+                        attempt += 1
+                        state.retries += 1
+                        await asyncio.sleep(self._retry_delay(attempt))
             finally:
                 self._release()
         except PoolSaturated:
@@ -457,6 +527,12 @@ class ServingGateway:
             hedged=hedged,
             hedge_won=hedge_won,
         )
+
+    def _retry_delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based): exponential in the
+        attempt number, stretched by seeded jitter."""
+        backoff = self.config.retry_backoff_s * (2 ** (attempt - 1))
+        return backoff * (1.0 + self.config.retry_jitter * self._retry_rng.random())
 
     async def _dispatch(
         self, subgraph: Subgraph, lane: str, deadline_s: float | None
@@ -568,6 +644,8 @@ class ServingGateway:
                 rejected=state.rejected,
                 latency_p50_s=state.latency_quantile(0.5),
                 latency_p99_s=state.latency_quantile(0.99),
+                retries=state.retries,
+                failures=state.failures,
             )
             for lane, state in self._lanes.items()
         }
@@ -579,5 +657,7 @@ class ServingGateway:
             hedges_launched=self._hedges_launched,
             hedges_won=self._hedges_won,
             in_flight=self._in_flight,
+            retries=sum(s.retries for s in per_lane.values()),
+            failures=sum(s.failures for s in per_lane.values()),
             per_lane=per_lane,
         )

@@ -47,6 +47,16 @@ that is identical everywhere.  A :class:`ServingPool` is that system:
   completions into an event loop — the contract
   :class:`~repro.serving.gateway.ServingGateway` builds SLO-aware
   admission, priority lanes and hedging on;
+* **worker supervision** — in thread mode a supervisor thread watches
+  for shard threads that died *outside* the per-request handler (a
+  drain-loop bug, or an injected ``worker`` fault from a
+  :class:`~repro.faultinject.FaultPlan`), respawns the shard with a
+  fresh engine remounting the shared weight segment / calibration /
+  plan exchange, and re-queues the dead worker's unsettled in-flight
+  requests so no submitter is stranded; with supervision disabled the
+  crash is surfaced instead — every queued and in-flight future fails
+  with :class:`~repro.errors.WorkerDied`, as do later submits routed to
+  the dead shard;
 * **process-pool escape hatch** — ``PoolConfig(mode="process")`` runs
   :meth:`ServingPool.serve` across fork-spawned worker processes (one
   engine per process, warm state exchanged only through the
@@ -74,7 +84,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..errors import ConfigError, PoolSaturated
+from ..errors import ConfigError, PoolSaturated, WorkerDied
 from ..gnn.models import GNNModel
 from ..gnn.quantized import ActivationCalibration
 from ..graph.batching import Subgraph, round_deadline, round_full
@@ -82,6 +92,7 @@ from ..plan.autotune import DispatchTable, merge_saved_dispatch_tables
 from ..plan.cache import CacheStats, ThreadSafeLRUCache, artifact_nbytes
 from ..runtime.report import EpochReport
 from .engine import InferenceEngine, ServingConfig
+from .supervision import BackendHealth
 
 __all__ = [
     "PlanExchange",
@@ -134,6 +145,14 @@ class PoolConfig:
     #: during merges; ``None`` uses a private temporary directory that is
     #: removed at shutdown.
     spool_dir: str | None = None
+    #: Whether the pool runs a supervisor thread (thread mode) that
+    #: respawns crashed shard workers and re-queues their in-flight
+    #: requests.  Disabled, a worker crash fails its stranded futures
+    #: with :class:`~repro.errors.WorkerDied` instead.
+    supervise: bool = True
+    #: How often (seconds) the supervisor sweeps for dead workers when
+    #: not woken by a crash notification.
+    supervise_interval_s: float = 0.05
 
     def __post_init__(self) -> None:
         """Validate every knob (fail construction, not the first merge)."""
@@ -159,6 +178,11 @@ class PoolConfig:
         if self.mode not in ("thread", "process"):
             raise ConfigError(
                 f"mode must be 'thread' or 'process', got {self.mode!r}"
+            )
+        interval = self.supervise_interval_s
+        if not math.isfinite(interval) or interval <= 0:
+            raise ConfigError(
+                f"supervise_interval_s must be finite > 0, got {interval!r}"
             )
 
 
@@ -324,18 +348,23 @@ class PoolResult:
         return self.result(timeout=0)
 
     def _fill(self, logits: np.ndarray) -> None:
-        self._logits = logits
-        self._settle()
+        self._settle(logits, None)
 
     def _fail(self, error: BaseException) -> None:
-        self._error = error
-        self._settle()
+        self._settle(None, error)
 
-    def _settle(self) -> None:
-        # Set the event and drain callbacks atomically with respect to
-        # add_done_callback, so a callback registered concurrently with
-        # completion runs exactly once (here, or immediately there).
+    def _settle(self, logits, error) -> None:
+        # Set the outcome, the event and drain callbacks atomically with
+        # respect to add_done_callback, so a callback registered
+        # concurrently with completion runs exactly once (here, or
+        # immediately there).  First settle wins: a request re-queued by
+        # supervision could in principle be raced by a late settle from
+        # the crashed worker, and the duplicate must not flip the result.
         with self._lock:
+            if self._event.is_set():
+                return
+            self._logits = logits
+            self._error = error
             self._event.set()
             callbacks, self._callbacks = self._callbacks, []
         for fn in callbacks:
@@ -359,6 +388,9 @@ class WorkerStats:
     phase_seconds: dict[str, float]
     plan_cache: CacheStats
     adjacency_cache: CacheStats
+    #: GEMM steps this shard retried on a fallback backend
+    #: (:class:`~repro.serving.supervision.StepRecovery`).
+    step_retries: int = 0
 
 
 @dataclass(frozen=True)
@@ -380,6 +412,17 @@ class PoolStats:
     backend_seconds: dict[str, float]
     #: Pool-wide measured seconds per execution phase.
     phase_seconds: dict[str, float]
+    #: GEMM steps retried on a fallback backend, pool-wide.
+    step_retries: int = 0
+    #: Circuit-open transitions recorded by the shared
+    #: :class:`~repro.serving.supervision.BackendHealth`.
+    quarantines: int = 0
+    #: Crashed shard workers respawned by supervision.
+    respawns: int = 0
+    #: In-flight requests re-queued after a worker crash.
+    requeued: int = 0
+    #: Cache entries discarded by digest verification, pool-wide.
+    poisoned_discards: int = 0
     per_worker: tuple[WorkerStats, ...] = ()
 
     @property
@@ -404,12 +447,21 @@ _SHUTDOWN = object()
 class _Worker:
     """One shard: a thread draining a bounded queue into a private engine."""
 
-    def __init__(self, pool: "ServingPool", index: int) -> None:
+    def __init__(
+        self,
+        pool: "ServingPool",
+        index: int,
+        requests: queue.Queue | None = None,
+    ) -> None:
         self.pool = pool
         self.index = index
         self.label = f"w{index}"
-        self.queue: queue.Queue = queue.Queue(
-            maxsize=pool.pool_config.queue_capacity
+        # A respawned worker takes over its predecessor's queue so
+        # already-queued (and re-queued) requests survive the crash.
+        self.queue: queue.Queue = (
+            requests
+            if requests is not None
+            else queue.Queue(maxsize=pool.pool_config.queue_capacity)
         )
         self.engine = InferenceEngine(
             pool.model,
@@ -418,7 +470,14 @@ class _Worker:
             shared_segments={"weight": pool._weight_segment},
             plan_exchange=pool.plan_exchange,
             label=self.label,
+            health=pool.health,
+            fault_plan=pool.fault_plan,
         )
+        #: Requests pulled off the queue but not yet settled — what the
+        #: supervisor re-queues (or fails) after a crash.
+        self.inflight: list[_QueuedRequest] = []
+        #: The exception that killed the drain loop, or ``None``.
+        self.died: BaseException | None = None
         self.thread = threading.Thread(
             target=self._run, name=f"serving-pool-{index}", daemon=True
         )
@@ -427,6 +486,17 @@ class _Worker:
         self.thread.start()
 
     def _run(self) -> None:
+        # Anything escaping the drain loop is a worker death: per-request
+        # failures are handled (and surfaced on the submitter) inside
+        # _execute, so reaching here means the loop itself broke — the
+        # fault class supervision exists for.
+        try:
+            self._drain()
+        except BaseException as exc:
+            self.died = exc
+            self.pool._on_worker_crash(self)
+
+    def _drain(self) -> None:
         cfg = self.pool.config
         stopping = False
         while not stopping:
@@ -434,6 +504,7 @@ class _Worker:
             if item is _SHUTDOWN:
                 break
             group = [item]
+            self.inflight = [item]
             nodes = item.subgraph.num_nodes
             deadline = item.deadline
             # Continuous batching: stragglers keep being admitted into the
@@ -454,6 +525,7 @@ class _Worker:
                 if nxt is _SHUTDOWN:
                     stopping = True
                     break
+                self.inflight.append(nxt)
                 if round_full(
                     len(group),
                     nodes,
@@ -470,6 +542,7 @@ class _Worker:
                     nodes += nxt.subgraph.num_nodes
                     deadline = round_deadline(deadline, nxt.deadline)
             self._execute(group)
+            self.inflight = []
         # Shutdown: serve whatever is still queued, without waiting.
         leftovers: list[_QueuedRequest] = []
         while True:
@@ -479,6 +552,7 @@ class _Worker:
                 break
             if item is not _SHUTDOWN:
                 leftovers.append(item)
+        self.inflight = leftovers
         group, nodes = [], 0
         for item in leftovers:
             if round_full(
@@ -490,10 +564,20 @@ class _Worker:
             group.append(item)
             nodes += item.subgraph.num_nodes
         self._execute(group)
+        self.inflight = []
 
     def _execute(self, group: list[_QueuedRequest]) -> None:
         if not group:
             return
+        plan = self.pool.fault_plan
+        if plan is not None:
+            # The ``worker`` site fires *outside* the per-request handler
+            # below — it kills the drain loop, exercising supervision —
+            # and ``slow_shard`` stalls the round without failing it.
+            plan.maybe_raise("worker", detail=self.label)
+            delay = plan.delay("slow_shard", detail=self.label)
+            if delay > 0.0:
+                time.sleep(delay)
         before = self.engine.stats.batches
         try:
             results = self.engine.infer([r.subgraph for r in group])
@@ -518,6 +602,7 @@ class _Worker:
             phase_seconds=dict(stats.phase_seconds),
             plan_cache=self.engine.plan_cache.stats.snapshot(),
             adjacency_cache=self.engine.adjacency_cache.stats.snapshot(),
+            step_retries=stats.step_retries,
         )
 
 
@@ -572,12 +657,25 @@ class ServingPool:
         *,
         pool: PoolConfig | None = None,
         calibration: ActivationCalibration | None = None,
+        health: BackendHealth | None = None,
+        fault_plan=None,
     ) -> None:
         """Build the shard workers (threads start immediately in thread
-        mode) over one ``model`` and a per-shard ``config`` policy."""
+        mode) over one ``model`` and a per-shard ``config`` policy.
+
+        ``health`` is the pool-wide backend circuit breaker (one is
+        created when not given, so a backend quarantined on one shard is
+        vetoed on all of them); ``fault_plan`` threads a
+        :class:`~repro.faultinject.FaultPlan` through every shard engine
+        (``None`` — the default — injects nothing).
+        """
         self.model = model
         self.config = config or ServingConfig()
         self.pool_config = pool or PoolConfig()
+        #: Shared per-backend circuit breaker (quarantine/veto state).
+        self.health = health if health is not None else BackendHealth()
+        #: Optional fault-injection plan threaded through the shards.
+        self.fault_plan = fault_plan
         # None check, not truthiness: an empty calibration is falsy.
         self._calibration = _SharedCalibration(
             calibration if calibration is not None else ActivationCalibration()
@@ -602,6 +700,10 @@ class ServingPool:
         self._batches_since_merge = 0
         self._table_merges = 0
         self._closed = False
+        self._respawns = 0
+        self._requeued = 0
+        self._crash_event = threading.Event()
+        self._supervisor: threading.Thread | None = None
         self._process_stats: list[WorkerStats] = []
         if self.pool_config.spool_dir is not None:
             self._spool_dir = Path(self.pool_config.spool_dir)
@@ -617,6 +719,13 @@ class ServingPool:
             ]
             for worker in self._workers:
                 worker.start()
+            if self.pool_config.supervise:
+                self._supervisor = threading.Thread(
+                    target=self._supervise,
+                    name="serving-pool-supervisor",
+                    daemon=True,
+                )
+                self._supervisor.start()
 
     # ------------------------------------------------------------------ #
     # Sharding
@@ -689,6 +798,12 @@ class ServingPool:
             self._next_seq += 1
             index = shard if shard is not None else self.shard_of(subgraph, seq)
             worker = self._workers[index]
+            if worker.died is not None and self._supervisor is None:
+                # Unsupervised dead shard: its queue is never drained
+                # again, so accepting the request would strand it.
+                raise WorkerDied(
+                    f"shard {worker.label} died and supervision is disabled"
+                ) from worker.died
             future = PoolResult(seq, worker.label)
             request = _QueuedRequest(
                 seq=seq,
@@ -740,6 +855,78 @@ class ServingPool:
         if self._workers:
             self._workers[0].engine.warm_up()
         return self
+
+    # ------------------------------------------------------------------ #
+    # Worker supervision
+    # ------------------------------------------------------------------ #
+    def _on_worker_crash(self, worker: _Worker) -> None:
+        """Crash notification, run on the dying worker's own thread.
+
+        Supervised pools wake the supervisor (which respawns the shard
+        and re-queues its in-flight requests); unsupervised pools fail
+        everything the shard was holding instead — a stranded future that
+        hangs its submitter forever is the one unacceptable outcome.
+        """
+        if self._supervisor is not None:
+            self._crash_event.set()
+            return
+        self._fail_worker_queue(worker)
+
+    def _fail_worker_queue(self, worker: _Worker) -> None:
+        """Surface :class:`~repro.errors.WorkerDied` on every unsettled
+        request the dead shard was holding — in-flight and queued alike."""
+        error = WorkerDied(f"shard {worker.label} died: {worker.died!r}")
+        error.__cause__ = worker.died
+        stranded = [r for r in worker.inflight if not r.future.done()]
+        worker.inflight = []
+        while True:
+            try:
+                item = worker.queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SHUTDOWN:
+                stranded.append(item)
+        for request in stranded:
+            request.future._fail(error)
+
+    def _supervise(self) -> None:
+        """Supervisor loop: sweep for dead shard threads and respawn them."""
+        interval = self.pool_config.supervise_interval_s
+        while True:
+            self._crash_event.wait(timeout=interval)
+            self._crash_event.clear()
+            if self._closed:
+                return
+            for index, worker in enumerate(list(self._workers)):
+                if worker.died is not None and not worker.thread.is_alive():
+                    self._respawn(index)
+
+    def _respawn(self, index: int) -> None:
+        """Replace a dead shard worker, re-queueing its in-flight requests.
+
+        The replacement remounts everything shared — weight segment,
+        calibration, plan exchange, backend health, fault plan — and
+        takes over the dead worker's queue, so requests that were queued
+        (or submitted) across the crash are served in place.  Unsettled
+        in-flight requests are re-queued; artifacts are content-keyed and
+        settles are first-wins, so re-execution is always safe.
+        """
+        dead = self._workers[index]
+        dead.thread.join()  # already dead; publishes its final writes
+        with self._intake_lock:
+            if self._closed:
+                return  # shutdown fails the stranded queue instead
+            replacement = _Worker(self, index, requests=dead.queue)
+            stranded = [r for r in dead.inflight if not r.future.done()]
+            dead.inflight = []
+            self._workers[index] = replacement
+            with self._lock:
+                self._respawns += 1
+                self._requeued += len(stranded)
+        replacement.start()
+        for request in stranded:
+            request.deadline = time.monotonic() + self.pool_config.max_delay_s
+            replacement.queue.put(request)
 
     # ------------------------------------------------------------------ #
     # Cross-worker dispatch-table merging
@@ -889,6 +1076,8 @@ class ServingPool:
                 )
             for phase, seconds in worker.phase_seconds.items():
                 phase_seconds[phase] = phase_seconds.get(phase, 0.0) + seconds
+        with self._lock:
+            respawns, requeued = self._respawns, self._requeued
         return PoolStats(
             workers=self.pool_config.workers,
             requests=sum(w.requests for w in per_worker),
@@ -899,6 +1088,14 @@ class ServingPool:
             plans_adopted=self.plan_exchange.adopted,
             backend_seconds=backend_seconds,
             phase_seconds=phase_seconds,
+            step_retries=sum(w.step_retries for w in per_worker),
+            quarantines=self.health.quarantines,
+            respawns=respawns,
+            requeued=requeued,
+            poisoned_discards=sum(
+                w.plan_cache.poisoned + w.adjacency_cache.poisoned
+                for w in per_worker
+            ),
             per_worker=per_worker,
         )
 
@@ -950,10 +1147,27 @@ class ServingPool:
             if self._closed:
                 return
             self._closed = True
+        if self._supervisor is not None:
+            self._crash_event.set()
+            self._supervisor.join()
         for worker in self._workers:
-            worker.queue.put(_SHUTDOWN)
+            if worker.thread.is_alive():
+                worker.queue.put(_SHUTDOWN)
+            else:
+                # A dead worker never drains again; don't block on its
+                # (possibly full) queue just to deliver a sentinel.
+                try:
+                    worker.queue.put_nowait(_SHUTDOWN)
+                except queue.Full:
+                    pass
         for worker in self._workers:
             worker.thread.join()
+        for worker in self._workers:
+            if worker.died is not None:
+                # Crashed after the supervisor stood down (or with
+                # supervision disabled *during* its own crash handling):
+                # fail the stranded futures rather than leak them.
+                self._fail_worker_queue(worker)
         if self._workers and self._workers[0].engine.dispatch_table is not None:
             self.merge_dispatch_tables()
             if self.config.dispatch_table_path is not None:

@@ -1,0 +1,121 @@
+"""Tests for the seeded deterministic fault-injection plan."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigError, InjectedFault
+from repro.faultinject import SITES, FaultPlan, FaultSpec
+
+
+class TestFaultSpec:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"site": "gpu"},
+            {"site": "kernel", "rate": -0.1},
+            {"site": "kernel", "rate": 1.5},
+            {"site": "slow_shard", "delay_s": -1.0},
+            {"site": "slow_shard", "delay_s": float("nan")},
+            {"site": "kernel", "at": (-1,)},
+            {"site": "kernel", "max_fires": 0},
+        ],
+    )
+    def test_rejects_bad_spec(self, kwargs):
+        with pytest.raises(ConfigError):
+            FaultSpec(**kwargs)
+
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(specs=[FaultSpec("kernel"), FaultSpec("kernel", rate=1.0)])
+
+
+class TestDecisions:
+    def test_decision_is_deterministic_and_uniformish(self):
+        a = [FaultPlan.decision(7, "kernel", i) for i in range(256)]
+        b = [FaultPlan.decision(7, "kernel", i) for i in range(256)]
+        assert a == b
+        assert all(0.0 <= u < 1.0 for u in a)
+        # A different seed or site yields a different sequence.
+        assert a != [FaultPlan.decision(8, "kernel", i) for i in range(256)]
+        assert a != [FaultPlan.decision(7, "compile", i) for i in range(256)]
+
+    def test_rate_firing_matches_decision_sequence(self):
+        rate = 0.25
+        plan = FaultPlan(seed=3, specs=[FaultSpec("kernel", rate=rate)])
+        fired = [plan.probe("kernel") for _ in range(128)]
+        expected = [
+            FaultPlan.decision(3, "kernel", i) < rate for i in range(128)
+        ]
+        assert fired == expected
+        assert plan.fires("kernel") == sum(expected)
+
+
+class TestProbes:
+    def test_unarmed_plan_never_fires(self):
+        plan = FaultPlan(seed=1)
+        for site in SITES:
+            assert not any(plan.probe(site) for _ in range(32))
+            assert plan.probes(site) == 32
+            assert plan.fires(site) == 0
+        plan.maybe_raise("kernel")  # no-op: nothing armed
+
+    def test_at_indices_fire_exactly(self):
+        plan = FaultPlan(seed=1, specs=[FaultSpec("compile", at=(2, 5))])
+        fired = [plan.probe("compile", detail=f"p{i}") for i in range(8)]
+        assert fired == [i in (2, 5) for i in range(8)]
+        events = plan.events
+        assert [(e.site, e.index) for e in events] == [
+            ("compile", 2),
+            ("compile", 5),
+        ]
+        assert events[0].detail == "p2"
+
+    def test_max_fires_caps_a_rate(self):
+        plan = FaultPlan(
+            seed=0, specs=[FaultSpec("kernel", rate=1.0, max_fires=2)]
+        )
+        fired = [plan.probe("kernel") for _ in range(10)]
+        assert sum(fired) == 2 and fired[:2] == [True, True]
+
+    def test_maybe_raise_raises_injected_fault(self):
+        plan = FaultPlan(seed=0, specs=[FaultSpec("worker", at=(0,))])
+        with pytest.raises(InjectedFault):
+            plan.maybe_raise("worker", detail="w0")
+        plan.maybe_raise("worker")  # index 1: no fire
+
+    def test_delay_returns_spec_delay_on_fire(self):
+        plan = FaultPlan(
+            seed=0, specs=[FaultSpec("slow_shard", at=(1,), delay_s=0.5)]
+        )
+        assert plan.delay("slow_shard") == 0.0
+        assert plan.delay("slow_shard") == 0.5
+
+    def test_snapshot_shape(self):
+        plan = FaultPlan(seed=0, specs=[FaultSpec("cache", at=(0,))])
+        plan.probe("cache")
+        snapshot = plan.snapshot()
+        assert set(snapshot) == set(SITES)
+        assert snapshot["cache"] == {"probes": 1, "fires": 1}
+
+    def test_probe_counters_are_thread_safe(self):
+        plan = FaultPlan(seed=0, specs=[FaultSpec("kernel", rate=0.5)])
+        n, threads = 200, []
+
+        def hammer():
+            for _ in range(n):
+                plan.probe("kernel")
+
+        for _ in range(4):
+            threads.append(threading.Thread(target=hammer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert plan.probes("kernel") == 4 * n
+        expected = sum(
+            FaultPlan.decision(0, "kernel", i) < 0.5 for i in range(4 * n)
+        )
+        assert plan.fires("kernel") == expected

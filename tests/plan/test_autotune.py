@@ -6,6 +6,7 @@ from __future__ import annotations
 
 import json
 import math
+import warnings
 
 import numpy as np
 import pytest
@@ -304,6 +305,17 @@ class TestPersistence:
         loaded = DispatchTable.load(path, registry_id="packed,cuda")
         assert loaded.mismatch is not None and "registry" in loaded.mismatch
         assert len(loaded) == 0
+
+    def test_degraded_load_warns_and_counts(self, tmp_path):
+        path = self._filled_table().save(tmp_path / "table.json")
+        with pytest.warns(RuntimeWarning, match="pricing falls back"):
+            degraded = DispatchTable.load(path, host="other/host")
+        assert degraded.degraded_loads == 1
+        # A clean load neither warns nor counts.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            clean = DispatchTable.load(path)
+        assert clean.degraded_loads == 0
 
     def test_strict_load_raises_on_mismatch(self, tmp_path):
         path = self._filled_table().save(tmp_path / "table.json")

@@ -6,6 +6,7 @@ external tooling, the slice of pydocstyle that matters for an operations
 surface:
 
 * every module in ``repro.serving`` / ``repro.plan`` / ``repro.perf``
+  / ``repro.faultinject``
   has a module docstring (D100-ish);
 * every public class, function, method and property defined in those
   modules has a docstring (D101/D102/D103-ish) — "public" meaning the
@@ -26,11 +27,18 @@ import inspect
 import pkgutil
 
 import repro.codegen
+import repro.faultinject
 import repro.perf
 import repro.plan
 import repro.serving
 
-CHECKED_PACKAGES = (repro.codegen, repro.perf, repro.plan, repro.serving)
+CHECKED_PACKAGES = (
+    repro.codegen,
+    repro.faultinject,
+    repro.perf,
+    repro.plan,
+    repro.serving,
+)
 
 #: Surfaces whose docstrings must carry a usage example.
 EXAMPLE_REQUIRED = {
