@@ -20,9 +20,11 @@ cases.
 
 from .backend import (
     CompiledKernel,
+    census_digest,
     codegen_backend,
     fused_pack_adjacency,
     gemm_kernel,
+    gemm_kernel_key,
     kernel_cache_segment,
     prepare_plan_kernels,
 )
@@ -30,6 +32,7 @@ from .emit import compile_program, maybe_jit, popcount64
 from .loopir import EMIT_VERSION, Block, Line, Loop, Program, substitute, unroll
 from .lower import (
     LayerLowering,
+    census_pattern_count,
     lower_gemm,
     lower_layer_plan,
     lower_pack_census,
@@ -44,10 +47,13 @@ __all__ = [
     "Line",
     "Loop",
     "Program",
+    "census_digest",
+    "census_pattern_count",
     "codegen_backend",
     "compile_program",
     "fused_pack_adjacency",
     "gemm_kernel",
+    "gemm_kernel_key",
     "kernel_cache_segment",
     "lower_gemm",
     "lower_layer_plan",

@@ -44,9 +44,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "CompiledKernel",
+    "census_digest",
     "codegen_backend",
     "fused_pack_adjacency",
     "gemm_kernel",
+    "gemm_kernel_key",
     "kernel_cache_segment",
     "prepare_plan_kernels",
 ]
@@ -93,12 +95,51 @@ def kernel_cache_segment() -> ThreadSafeLRUCache:
     return _KERNEL_SEGMENT
 
 
-def _mask_digest(mask: np.ndarray) -> str:
+def census_digest(mask: np.ndarray | None) -> str:
+    """Content digest of a zero-tile census mask (``"dense"`` when absent).
+
+    The census component of every gemm kernel key: a structure mutation
+    that changes the census changes this digest, which changes the key —
+    the property that makes a stale compiled kernel unreachable after a
+    dynamic-graph mutation.
+    """
+    if mask is None:
+        return "dense"
     arr = np.ascontiguousarray(np.asarray(mask, dtype=bool))
     h = hashlib.blake2b(digest_size=8)
     h.update(f"{arr.shape}".encode())
     h.update(arr.tobytes())
     return h.hexdigest()
+
+
+def gemm_kernel_key(
+    *,
+    m: int,
+    n: int,
+    bits_a: int,
+    bits_b: int,
+    a_padded_vectors: int,
+    a_k_words: int,
+    tile_mask: np.ndarray | None = None,
+) -> tuple:
+    """The kernel-segment content key :func:`gemm_kernel` caches under.
+
+    Public so invalidation paths (the dynamic-graph session retiring
+    kernels compiled against a superseded census) can reconstruct and
+    discard the exact key without recompiling anything.
+    """
+    return (
+        "kernel",
+        "gemm",
+        bits_a,
+        bits_b,
+        m,
+        n,
+        a_padded_vectors,
+        a_k_words,
+        census_digest(tile_mask),
+        EMIT_VERSION,
+    )
 
 
 def _build_kernel(builder, jit: bool = False) -> CompiledKernel:
@@ -135,18 +176,14 @@ def gemm_kernel(
     reused with zero lowering work; a mutated census or bitwidth changes
     the key and recompiles.
     """
-    census = _mask_digest(tile_mask) if tile_mask is not None else "dense"
-    key = (
-        "kernel",
-        "gemm",
-        bits_a,
-        bits_b,
-        m,
-        n,
-        a_padded_vectors,
-        a_k_words,
-        census,
-        EMIT_VERSION,
+    key = gemm_kernel_key(
+        m=m,
+        n=n,
+        bits_a=bits_a,
+        bits_b=bits_b,
+        a_padded_vectors=a_padded_vectors,
+        a_k_words=a_k_words,
+        tile_mask=tile_mask,
     )
     return _KERNEL_SEGMENT.get_or_build(
         key,

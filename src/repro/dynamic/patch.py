@@ -1,0 +1,121 @@
+"""Patch-vs-recompile policy for plans serving a mutating graph.
+
+A shape-preserving mutation leaves every GEMM spec of a compiled
+:class:`~repro.plan.ir.ExecutionPlan` intact — only the *content keys* of
+the adjacency artifact move (the structure digest changed).  For such
+mutations the plan is **patched**: its aggregate ``pack_a``/``census``
+nodes are retargeted at the new artifact key
+(:meth:`ExecutionPlan.retarget_adjacency`) and everything else is reused
+by reference, skipping compilation entirely.
+
+Patching is only sound while the compile-time assumptions still hold, so
+the policy falls back to a full recompile when the census has drifted far
+enough to invalidate them:
+
+* **dirty-tile fraction** — the cumulative fraction of tiles re-balloted
+  since the last compile exceeds ``max_dirty_fraction`` (the frozen
+  backend choice was priced against a census that no longer describes
+  the operand);
+* **census drift** — the non-zero tile fraction moved more than
+  ``max_census_drift`` from its compile-time value (same reason, in
+  aggregate rather than per-tile form);
+* **pattern boundary** — the number of distinct live tile-row census
+  patterns crosses the codegen backend's
+  :data:`~repro.codegen.lower.GROUP_UNROLL_LIMIT` in either direction
+  (the skip-loop specialization would switch between the grouped and
+  dense schedules, so a compiled codegen kernel's structure assumption
+  flips).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..codegen.lower import GROUP_UNROLL_LIMIT, census_pattern_count
+
+__all__ = ["PatchDecision", "PatchPolicy"]
+
+
+@dataclass(frozen=True)
+class PatchDecision:
+    """One patch-vs-recompile verdict, with the numbers that drove it."""
+
+    action: str  # "patch" | "recompile"
+    reason: str
+    dirty_fraction: float
+    census_drift: float
+    patterns_before: int
+    patterns_after: int
+
+    @property
+    def patch(self) -> bool:
+        """Whether the verdict allows key-patching the compiled plan."""
+        return self.action == "patch"
+
+
+@dataclass(frozen=True)
+class PatchPolicy:
+    """Thresholds of the patch-vs-recompile decision (see module doc)."""
+
+    #: Cumulative re-balloted tile fraction (since last compile) above
+    #: which the compile-time census is considered stale.
+    max_dirty_fraction: float = 0.05
+    #: Absolute non-zero-fraction drift (since last compile) above which
+    #: the frozen dispatch pricing is considered stale.
+    max_census_drift: float = 0.02
+    #: The codegen dense-fallback boundary; crossing it in either
+    #: direction forces a recompile.
+    pattern_limit: int = GROUP_UNROLL_LIMIT
+
+    def decide(
+        self,
+        *,
+        dirty_tiles: int,
+        total_tiles: int,
+        fraction_at_compile: float,
+        fraction_now: float,
+        mask_at_compile: np.ndarray | None = None,
+        mask_now: np.ndarray | None = None,
+    ) -> PatchDecision:
+        """Judge whether a compiled plan may be key-patched.
+
+        ``dirty_tiles`` counts distinct tiles re-censused since the plan
+        was last compiled; ``fraction_*`` are the census non-zero
+        fractions then and now.  The masks are optional — when either is
+        missing the pattern-boundary test is skipped (the other two
+        tests still apply).
+        """
+        dirty_fraction = dirty_tiles / total_tiles if total_tiles else 0.0
+        drift = abs(fraction_now - fraction_at_compile)
+        before = after = -1
+        if mask_at_compile is not None and mask_now is not None:
+            before = census_pattern_count(mask_at_compile)
+            after = census_pattern_count(mask_now)
+        if dirty_fraction > self.max_dirty_fraction:
+            action, reason = "recompile", (
+                f"dirty-tile fraction {dirty_fraction:.4f} > "
+                f"{self.max_dirty_fraction}"
+            )
+        elif drift > self.max_census_drift:
+            action, reason = "recompile", (
+                f"census drift {drift:.4f} > {self.max_census_drift}"
+            )
+        elif before >= 0 and (
+            (before <= self.pattern_limit) != (after <= self.pattern_limit)
+        ):
+            action, reason = "recompile", (
+                f"census patterns crossed the {self.pattern_limit}-pattern "
+                f"dense-fallback boundary ({before} -> {after})"
+            )
+        else:
+            action, reason = "patch", "shape-preserving mutation within thresholds"
+        return PatchDecision(
+            action=action,
+            reason=reason,
+            dirty_fraction=dirty_fraction,
+            census_drift=drift,
+            patterns_before=before,
+            patterns_after=after,
+        )

@@ -179,16 +179,23 @@ class CSRGraph:
     # Conversions
     # ------------------------------------------------------------------ #
     def to_scipy(self) -> sp.csr_matrix:
-        """Unweighted CSR adjacency (cached)."""
+        """Unweighted CSR adjacency (cached).
+
+        The returned matrix aliases this graph's ``indptr``/``indices``
+        buffers through read-only views: in-place scipy operations that
+        would reorder or rewrite them (``sort_indices``, ``data *= ...``)
+        raise instead of silently corrupting the graph — and every later
+        ``to_scipy()`` call — behind the cache.
+        """
         if self._adj_cache is None:
             n = self.num_nodes
+            data = np.ones(self.indices.size, dtype=np.float32)
+            indices = self.indices.view()
+            indptr = self.indptr.view()
+            for arr in (data, indices, indptr):
+                arr.setflags(write=False)
             self._adj_cache = sp.csr_matrix(
-                (
-                    np.ones(self.indices.size, dtype=np.float32),
-                    self.indices,
-                    self.indptr,
-                ),
-                shape=(n, n),
+                (data, indices, indptr), shape=(n, n), copy=False
             )
         return self._adj_cache
 

@@ -374,6 +374,28 @@ def _attach_gateway(pag: Pag, gateway: GatewayStats) -> Pag:
     return pag
 
 
+def _from_dynamic(session) -> Pag:
+    """Engine attribution plus a ``dynamic`` node of mutation counters.
+
+    The dynamic node is pure-counter (mutation batches, patched vs
+    recompiled plans, invalidations, re-censused tiles, the
+    ``stale_kernel_hits`` invariant) except for its ``serve`` child,
+    which owns the session's measured serve seconds.
+    """
+    pag = _from_engine(session.engine)
+    node = PagNode(
+        kind="dynamic",
+        name="mutation",
+        # The serve seconds are already counted in the engine worker's
+        # wall-clock; repeating them here labels the dynamic share
+        # without inflating the totals.
+        seconds=session.stats.serve_seconds,
+        metrics=session.dynamic_metrics(),
+    )
+    pag.root.add(node)
+    return pag
+
+
 def build_pag(source, pool_stats: PoolStats | None = None) -> Pag:
     """Assemble a PAG report from any serving telemetry source.
 
@@ -381,7 +403,9 @@ def build_pag(source, pool_stats: PoolStats | None = None) -> Pag:
     (one worker node), a live :class:`~repro.serving.pool.ServingPool`
     (one node per shard, plus live queue depths and cache capacities), a
     :class:`~repro.serving.pool.PoolStats` snapshot (e.g. the summary a
-    process-mode ``serve()`` left behind), or a
+    process-mode ``serve()`` left behind), a
+    :class:`~repro.dynamic.session.DynamicSession` (its engine's worker
+    node plus a ``dynamic`` mutation-counter node), or a
     :class:`~repro.serving.gateway.GatewayStats` paired with the backing
     pool's stats via ``pool_stats`` — the gateway's lanes attach beside
     the pool's workers.
@@ -390,6 +414,10 @@ def build_pag(source, pool_stats: PoolStats | None = None) -> Pag:
 
         pag = build_pag(gateway.stats(), pool_stats=pool.stats())
     """
+    from ..dynamic.session import DynamicSession
+
+    if isinstance(source, DynamicSession):
+        return _from_dynamic(source)
     if isinstance(source, InferenceEngine):
         return _from_engine(source)
     if isinstance(source, ServingPool):
@@ -405,6 +433,7 @@ def build_pag(source, pool_stats: PoolStats | None = None) -> Pag:
             )
         return _attach_gateway(_from_pool_stats(pool_stats), source)
     raise TypeError(
-        "build_pag expects an InferenceEngine, ServingPool, PoolStats or "
-        f"GatewayStats (+ pool_stats), got {type(source).__name__}"
+        "build_pag expects an InferenceEngine, ServingPool, PoolStats, "
+        "DynamicSession or GatewayStats (+ pool_stats), got "
+        f"{type(source).__name__}"
     )

@@ -54,6 +54,7 @@ CURATED_METRICS: dict[str, tuple[str, ...]] = {
     "latency": ("overload_p99_cut", "overload_throughput_ratio"),
     "codegen": ("speedup.median",),
     "chaos": ("throughput_ratio",),
+    "dynamic": ("speedup.median",),
 }
 
 

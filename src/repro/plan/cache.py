@@ -471,6 +471,16 @@ class PlanCache:
         """Cache-through read on the key's kind segment."""
         return self._segment_for(key).get_or_build(key, builder)
 
+    def discard(self, key: PlanKey) -> bool:
+        """Invalidate one entry by content key.
+
+        Returns ``True`` if the key was resident (the segment counts it in
+        ``CacheStats.invalidations``).  The dynamic-graph path uses this to
+        retire artifacts keyed by a superseded structure digest the moment
+        a mutation changes the digest.
+        """
+        return self._segment_for(key).discard(key)
+
     def __contains__(self, key: object) -> bool:
         return isinstance(key, tuple) and bool(key) and (
             key[0] in self._segments and key in self._segments[key[0]]

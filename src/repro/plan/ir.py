@@ -25,7 +25,7 @@ by construction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from ..core.bitpack import TC_K, TC_M, pad_to
@@ -196,6 +196,44 @@ class ExecutionPlan:
     def backends(self) -> tuple[str, ...]:
         """Distinct backend names the plan dispatches to (sorted)."""
         return tuple(sorted({step.backend for step in self.gemm_steps()}))
+
+    def adjacency_keys(self) -> tuple[PlanKey, ...]:
+        """Distinct cache keys the aggregate steps read the adjacency from."""
+        keys: list[PlanKey] = []
+        for layer in self.layers:
+            key = layer.aggregate.pack_a.cache_key
+            if key is not None and key not in keys:
+                keys.append(key)
+        return tuple(keys)
+
+    def retarget_adjacency(self, adjacency_key: PlanKey | None) -> "ExecutionPlan":
+        """Patch the plan to read its adjacency from a different cache key.
+
+        The structural patch behind dynamic-graph plan reuse: a
+        shape-preserving edge mutation changes the adjacency's *content*
+        (and therefore its structure digest / cache key) but none of the
+        GEMM shapes, quantize sites, or backend choices — so the compiled
+        plan is still valid once every aggregate step's ``pack_a`` and
+        ``census`` nodes point at the new artifact.  Everything else is
+        reused by reference; compare with a fresh
+        :func:`compile_forward_plan` for the recompile path.
+        """
+        layers = tuple(
+            replace(
+                layer,
+                aggregate=replace(
+                    layer.aggregate,
+                    pack_a=replace(layer.aggregate.pack_a, cache_key=adjacency_key),
+                    census=(
+                        CensusStep(cache_key=adjacency_key)
+                        if layer.aggregate.census is not None
+                        else None
+                    ),
+                ),
+            )
+            for layer in self.layers
+        )
+        return ExecutionPlan(signature=self.signature, layers=layers)
 
 
 # --------------------------------------------------------------------- #

@@ -558,6 +558,22 @@ class InferenceEngine:
             return self._engine.table
         return None
 
+    @property
+    def dispatcher(self) -> CostModelDispatcher | None:
+        """The cost-model dispatcher, when one drives backend selection."""
+        if isinstance(self._engine, CostModelDispatcher):
+            return self._engine
+        return None
+
+    @property
+    def engine_selector(self):
+        """What ``compile_forward_plan`` dispatches through: the
+        cost-model dispatcher when enabled, else the configured engine
+        name.  Exposed so companion sessions (e.g. a dynamic-graph
+        :class:`~repro.dynamic.session.DynamicSession`) compile through
+        the same frozen dispatch decisions as the engine itself."""
+        return self._engine
+
     def save_dispatch_table(self, path: str | Path | None = None) -> Path:
         """Persist the measured dispatch table to disk.
 
@@ -592,6 +608,14 @@ class InferenceEngine:
         if bits is None:
             bits = self.config.effective_weight_bits
         return ("weight", layer, bits, self.config.engine)
+
+    def weight_key(self, layer: int, bits: int | None = None) -> PlanKey:
+        """Public form of the per-layer packed-weight content key.
+
+        Matches what :meth:`packed_weights` caches under, so a companion
+        session compiling its own plans (e.g. the dynamic-graph path)
+        resolves the very same weight artifacts."""
+        return self._weight_key(layer, bits)
 
     def packed_weights(self) -> list[PackedLayerWeight]:
         """Per-layer packed weights, built through the plan cache.

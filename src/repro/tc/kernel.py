@@ -109,6 +109,18 @@ class TileSkipPlan:
         for mask in self.masks:
             if mask.ndim != 2 or mask.shape != first:
                 raise ShapeError("plane masks must share one 2-D tile grid")
+        # Census masks are shared by reference across cached plans, codegen
+        # kernel keys, and serving sessions: freeze them so an in-place
+        # mutation (e.g. a dynamic-graph delta census) cannot silently
+        # invalidate a published plan.  Writable inputs are copied first so
+        # the caller's array stays writable.
+        frozen = []
+        for mask in self.masks:
+            if mask.flags.writeable:
+                mask = mask.copy()
+                mask.setflags(write=False)
+            frozen.append(mask)
+        object.__setattr__(self, "masks", tuple(frozen))
 
     @property
     def bits(self) -> int:

@@ -14,7 +14,12 @@
 
 from __future__ import annotations
 
-from ..core.bitpack import tile_nonzero_mask
+from ..core.bitpack import recensus_tiles, tile_nonzero_mask
 from .kernel import TileSummary, zero_tile_summary
 
-__all__ = ["TileSummary", "tile_nonzero_mask", "zero_tile_summary"]
+__all__ = [
+    "TileSummary",
+    "recensus_tiles",
+    "tile_nonzero_mask",
+    "zero_tile_summary",
+]

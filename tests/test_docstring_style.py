@@ -6,7 +6,7 @@ external tooling, the slice of pydocstyle that matters for an operations
 surface:
 
 * every module in ``repro.serving`` / ``repro.plan`` / ``repro.perf``
-  / ``repro.faultinject``
+  / ``repro.faultinject`` / ``repro.dynamic``
   has a module docstring (D100-ish);
 * every public class, function, method and property defined in those
   modules has a docstring (D101/D102/D103-ish) — "public" meaning the
@@ -27,6 +27,7 @@ import inspect
 import pkgutil
 
 import repro.codegen
+import repro.dynamic
 import repro.faultinject
 import repro.perf
 import repro.plan
@@ -34,6 +35,7 @@ import repro.serving
 
 CHECKED_PACKAGES = (
     repro.codegen,
+    repro.dynamic,
     repro.faultinject,
     repro.perf,
     repro.plan,
